@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one paper table/figure at the "quick"
+scale (trimmed population/horizon; identical sweeps and shapes).  The
+rendered rows are printed and also written to ``benchmarks/results/`` so
+the numbers survive pytest's output capture; the shape checks assert the
+paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_experiment(benchmark, runner, **kwargs):
+    """Run ``runner`` once under pytest-benchmark and persist its output."""
+    outcome = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1
+    )
+    results = outcome if isinstance(outcome, list) else [outcome]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for result in results:
+        text = result.render()
+        print()
+        print(text)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+    return results
+
+
+def assert_shapes(results) -> None:
+    """Fail the benchmark if any paper claim did not hold."""
+    failures = [
+        str(check)
+        for result in results
+        for check in result.shape_checks
+        if not check.passed
+    ]
+    assert not failures, "paper shape checks failed:\n" + "\n".join(failures)

@@ -1,0 +1,50 @@
+"""Benchmarks: design-choice ablations (one per study)."""
+
+from repro.experiments import ablations
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_ablation_cutoff(benchmark):
+    results = run_experiment(
+        benchmark, ablations.run_cut_off, scale="quick", replications=1
+    )
+    assert_shapes(results)
+
+
+def test_ablation_piggyback(benchmark):
+    results = run_experiment(
+        benchmark, ablations.run_piggyback, scale="quick", replications=1
+    )
+    assert_shapes(results)
+
+
+def test_ablation_interest_policy(benchmark):
+    results = run_experiment(
+        benchmark,
+        ablations.run_interest_policy,
+        scale="quick",
+        replications=1,
+    )
+    assert_shapes(results)
+
+
+def test_ablation_invalidate(benchmark):
+    results = run_experiment(
+        benchmark, ablations.run_invalidate, scale="quick", replications=1
+    )
+    assert_shapes(results)
+
+
+def test_ablation_topology(benchmark):
+    results = run_experiment(
+        benchmark, ablations.run_topology, scale="quick", replications=1
+    )
+    assert_shapes(results)
+
+
+def test_ablation_extremes(benchmark):
+    results = run_experiment(
+        benchmark, ablations.run_extremes, scale="quick", replications=1
+    )
+    assert_shapes(results)

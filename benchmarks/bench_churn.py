@@ -1,0 +1,16 @@
+"""Benchmark: the churn study (Section III-C, quantified)."""
+
+from repro.experiments import churn_study
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_churn_study(benchmark):
+    results = run_experiment(
+        benchmark,
+        churn_study.run,
+        scale="quick",
+        replications=1,
+        levels=(0.0, 0.02, 0.08),
+    )
+    assert_shapes(results)

@@ -1,0 +1,12 @@
+"""Benchmark: DUP tree formation and post-failure recovery."""
+
+from repro.experiments import convergence
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_convergence(benchmark):
+    results = run_experiment(
+        benchmark, convergence.run, scale="quick", replications=1
+    )
+    assert_shapes(results)

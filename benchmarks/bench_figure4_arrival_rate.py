@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 4 (query arrival rate sweep)."""
+
+from repro.experiments import figure4_arrival_rate
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_figure4_arrival_rate(benchmark):
+    results = run_experiment(
+        benchmark,
+        figure4_arrival_rate.run,
+        scale="quick",
+        replications=1,
+        rates=(0.1, 1.0, 3.0, 10.0, 30.0),
+    )
+    assert_shapes(results)

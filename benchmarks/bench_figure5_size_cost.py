@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 5 (relative cost vs number of nodes)."""
+
+from repro.experiments import figure5_size_cost
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_figure5_size_cost(benchmark):
+    results = run_experiment(
+        benchmark,
+        figure5_size_cost.run,
+        scale="quick",
+        replications=1,
+        sizes=(128, 512, 2048),
+    )
+    assert_shapes(results)

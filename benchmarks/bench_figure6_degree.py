@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 6 (effects of the maximum node degree)."""
+
+from repro.experiments import figure6_degree
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_figure6_degree(benchmark):
+    results = run_experiment(
+        benchmark,
+        figure6_degree.run,
+        scale="quick",
+        replications=1,
+        degrees=(2, 4, 6, 10),
+    )
+    assert_shapes(results)

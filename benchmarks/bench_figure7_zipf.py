@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 7 (effects of the Zipf parameter)."""
+
+from repro.experiments import figure7_zipf
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_figure7_zipf(benchmark):
+    results = run_experiment(
+        benchmark,
+        figure7_zipf.run,
+        scale="quick",
+        replications=1,
+        thetas=(0.5, 1.0, 2.0, 4.0),
+    )
+    assert_shapes(results)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8 (Pareto / bursty arrivals)."""
+
+from repro.experiments import figure8_pareto
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_figure8_pareto(benchmark):
+    results = run_experiment(
+        benchmark,
+        figure8_pareto.run,
+        scale="quick",
+        replications=1,
+        rates=(1.0, 10.0, 30.0),
+    )
+    assert_shapes(results)

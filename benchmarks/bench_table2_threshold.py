@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table II (effects of the threshold value c)."""
+
+from repro.experiments import table2_threshold
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_table2_threshold(benchmark):
+    results = run_experiment(
+        benchmark,
+        table2_threshold.run,
+        scale="quick",
+        replications=1,
+        c_values=(2, 6, 10),
+        rates=(0.1, 1.0, 10.0),
+    )
+    assert_shapes(results)

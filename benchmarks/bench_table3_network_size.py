@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table III (latency vs number of nodes)."""
+
+from repro.experiments import table3_network_size
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_table3_network_size(benchmark):
+    results = run_experiment(
+        benchmark,
+        table3_network_size.run,
+        scale="quick",
+        replications=1,
+        sizes=(128, 512, 2048),
+        rates=(0.1, 1.0, 10.0),
+    )
+    assert_shapes(results)

@@ -1,0 +1,1 @@
+"""Benchmark directory conftest (intentionally empty)."""

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The paper's future work, realized: DUP as a pub/sub dissemination platform.
+
+"The idea of DUP may be applied to more general data dissemination
+scenarios.  We plan to extend DUP to a general data dissemination
+platform in overlay networks."  — paper, Section VI.
+
+This example builds a 256-node Chord overlay carrying three topics, lets
+node groups subscribe, publishes events, and compares DUP's per-event
+fan-out cost against what a SCRIBE-style hop-by-hop multicast would pay on
+the same trees (the comparison the paper's related-work section makes).
+
+Run:
+    python examples/pubsub_platform.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.dissemination import DisseminationPlatform
+from repro.sim import Environment
+
+
+def main() -> None:
+    env = Environment()
+    platform = DisseminationPlatform(env, num_nodes=256, seed=11)
+    rng = np.random.default_rng(11)
+
+    topics = {
+        "prices/btc": 40,   # broad interest
+        "alerts/security": 8,   # small, scattered group
+        "feeds/research": 16,
+    }
+    deliveries = []
+    for node in platform.nodes:
+        platform.on_delivery(node, deliveries.append)
+
+    print("== building topics and subscriber groups ==")
+    for name, group_size in topics.items():
+        handle = platform.create_topic(name)
+        members = rng.choice(platform.nodes, size=group_size, replace=False)
+        for member in members:
+            platform.subscribe(int(member), name)
+        dup_cost, scribe_cost = platform.multicast_cost_bound(name)
+        print(
+            f"  {name:<18s} authority={handle.authority:#011x} "
+            f"subscribers={group_size:<3d} per-event hops: "
+            f"DUP={dup_cost:<3d} SCRIBE-style={scribe_cost:<3d} "
+            f"(saving {1 - dup_cost / max(scribe_cost, 1):.0%})"
+        )
+
+    print("\n== publishing ==")
+    publishers = rng.choice(platform.nodes, size=6, replace=False)
+    for index, publisher in enumerate(publishers):
+        topic = list(topics)[index % len(topics)]
+        platform.publish(int(publisher), topic, f"event-{index}")
+    env.run()
+
+    per_topic = Counter(d.topic for d in deliveries)
+    delays = [d.delay for d in deliveries]
+    print(f"  deliveries: {dict(per_topic)}")
+    print(
+        f"  end-to-end delay: mean={np.mean(delays):.3f}s "
+        f"max={np.max(delays):.3f}s (per-hop latency ~Exp(0.1s))"
+    )
+    print(
+        f"  traffic: publish={platform.stats.publish_hops} hops, "
+        f"push={platform.stats.push_hops} hops, "
+        f"control(subscriptions)={platform.stats.control_hops} hops"
+    )
+
+    print("\n== churn in interest: the security group doubles ==")
+    extra = rng.choice(platform.nodes, size=8, replace=False)
+    for member in extra:
+        platform.subscribe(int(member), "alerts/security")
+    dup_cost, scribe_cost = platform.multicast_cost_bound("alerts/security")
+    print(
+        f"  alerts/security now pays DUP={dup_cost} vs "
+        f"SCRIBE-style={scribe_cost} hops per event"
+    )
+    print(
+        "  subscription state is hard DUP state: the tree grew by "
+        "substitute promotions, no re-broadcasts needed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Closed-form cost analysis (the paper's Section II-B, made precise).
+
+The paper argues DUP's advantage with small worked examples (pushing to
+N6 costs CUP four hops and DUP one; PCX pays eight).  This package turns
+those arguments into exact combinatorial quantities on a given search
+tree and subscriber set:
+
+- :func:`~repro.analysis.cost_model.cup_push_cost` — edges on the union
+  of root-to-subscriber paths (what hop-by-hop pushing pays per update);
+- :func:`~repro.analysis.cost_model.dup_push_cost` — edges of the
+  *contracted Steiner tree* of the subscriber set, which is exactly the
+  quiescent DUP tree (a property the test-suite verifies against the
+  protocol implementation);
+- :func:`~repro.analysis.cost_model.pcx_refetch_cost` — the per-TTL
+  round-trip cost pushes save;
+- :func:`~repro.analysis.interest_model.expected_interested` — the
+  expected interested-node count under the paper's Zipf/Poisson workload,
+  predicting how the DUP tree scales with lambda, theta, and c.
+"""
+
+from repro.analysis.cost_model import (
+    cup_push_cost,
+    dup_push_cost,
+    dup_tree_nodes,
+    pcx_refetch_cost,
+    push_savings,
+)
+from repro.analysis.interest_model import expected_interested
+
+__all__ = [
+    "cup_push_cost",
+    "dup_push_cost",
+    "dup_tree_nodes",
+    "expected_interested",
+    "pcx_refetch_cost",
+    "push_savings",
+]

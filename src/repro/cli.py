@@ -1,0 +1,210 @@
+"""Command-line interface: ``repro-dup``.
+
+Three subcommands:
+
+- ``repro-dup list`` — show available experiments and schemes.
+- ``repro-dup run EXPERIMENT`` — regenerate a paper table/figure (or an
+  ablation) and print the rows plus the shape checks.
+- ``repro-dup simulate`` — one ad-hoc simulation with explicit
+  parameters, printing the metrics report.
+- ``repro-dup trace`` — synthesize a reusable query trace, or replay a
+  saved one against a scheme.
+
+Examples
+--------
+::
+
+    repro-dup list
+    repro-dup run figure4 --scale bench --replications 2
+    repro-dup run table3 --scale paper          # hours, full fidelity
+    repro-dup simulate --scheme dup --nodes 2048 --rate 10 --duration 36000
+    repro-dup trace make workload.trace --nodes 512 --rate 5
+    repro-dup trace replay workload.trace --scheme dup --nodes 512
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.engine import SimulationConfig, run_simulation
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments.spec import ExperimentResult
+from repro.schemes import available_schemes
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dup",
+        description=(
+            "Reproduction of 'DUP: Dynamic-tree Based Update Propagation "
+            "in Peer-to-Peer Networks' (Yin & Cao, ICDE 2005)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list experiments and schemes")
+
+    run_parser = subparsers.add_parser(
+        "run", help="regenerate a paper table/figure or ablation"
+    )
+    run_parser.add_argument(
+        "experiment",
+        help=f"one of: {', '.join(list_experiments())}",
+    )
+    run_parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=("quick", "bench", "paper"),
+        help="parameter scale (default: bench)",
+    )
+    run_parser.add_argument(
+        "--replications", type=int, default=2, help="seeds per data point"
+    )
+    run_parser.add_argument("--seed", type=int, default=1, help="root seed")
+
+    sim_parser = subparsers.add_parser(
+        "simulate", help="run one ad-hoc simulation"
+    )
+    sim_parser.add_argument(
+        "--scheme", default="dup", choices=available_schemes()
+    )
+    sim_parser.add_argument("--nodes", type=int, default=1024)
+    sim_parser.add_argument("--degree", type=int, default=4)
+    sim_parser.add_argument(
+        "--rate", type=float, default=1.0, help="queries/second network-wide"
+    )
+    sim_parser.add_argument(
+        "--arrival", default="exponential", choices=("exponential", "pareto")
+    )
+    sim_parser.add_argument("--pareto-alpha", type=float, default=1.05)
+    sim_parser.add_argument("--theta", type=float, default=0.95)
+    sim_parser.add_argument("--threshold", type=int, default=6)
+    sim_parser.add_argument("--ttl", type=float, default=3600.0)
+    sim_parser.add_argument("--duration", type=float, default=3600.0 * 6)
+    sim_parser.add_argument("--warmup", type=float, default=3600.0 * 2)
+    sim_parser.add_argument(
+        "--topology",
+        default="random-tree",
+        choices=("random-tree", "chord", "can", "balanced", "chain", "star"),
+    )
+    sim_parser.add_argument("--seed", type=int, default=1)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="synthesize or replay a query trace"
+    )
+    trace_parser.add_argument("action", choices=("make", "replay"))
+    trace_parser.add_argument("path", help="trace file path")
+    trace_parser.add_argument("--scheme", default="dup",
+                              choices=available_schemes())
+    trace_parser.add_argument("--nodes", type=int, default=512)
+    trace_parser.add_argument("--rate", type=float, default=1.0)
+    trace_parser.add_argument("--duration", type=float, default=3600.0 * 5)
+    trace_parser.add_argument("--theta", type=float, default=0.95)
+    trace_parser.add_argument(
+        "--arrival", default="exponential", choices=("exponential", "pareto")
+    )
+    trace_parser.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _command_list() -> int:
+    print("experiments:")
+    for name in list_experiments():
+        print(f"  {name}")
+    print("schemes:")
+    for name in available_schemes():
+        print(f"  {name}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    runner = get_experiment(args.experiment)
+    outcome = runner(
+        scale=args.scale, replications=args.replications, seed=args.seed
+    )
+    results = outcome if isinstance(outcome, list) else [outcome]
+    failed = False
+    for result in results:
+        print(result.render())
+        print()
+        failed = failed or not result.all_shapes_hold
+    return 1 if failed else 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        scheme=args.scheme,
+        num_nodes=args.nodes,
+        max_degree=args.degree,
+        query_rate=args.rate,
+        arrival=args.arrival,
+        pareto_alpha=args.pareto_alpha,
+        zipf_theta=args.theta,
+        threshold_c=args.threshold,
+        ttl=args.ttl,
+        duration=args.duration,
+        warmup=args.warmup,
+        topology=args.topology,
+        seed=args.seed,
+    )
+    print(f"config: {config.describe()}")
+    result = run_simulation(config)
+    print(result)
+    if result.extras:
+        print(f"extras: {dict(result.extras)}")
+    print(f"wall: {result.wall_seconds:.1f}s")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.engine.simulation import Simulation
+    from repro.workload.trace import QueryTrace
+
+    if args.action == "make":
+        trace = QueryTrace.synthesize(
+            nodes=list(range(1, args.nodes)),  # node 0 is the authority
+            rate=args.rate,
+            duration=args.duration,
+            seed=args.seed,
+            arrival=args.arrival,
+            zipf_theta=args.theta,
+        )
+        trace.save(args.path)
+        print(
+            f"wrote {len(trace)} events over {trace.duration:.0f}s "
+            f"({trace.mean_rate():.3g}/s) to {args.path}"
+        )
+        return 0
+    trace = QueryTrace.load(args.path)
+    config = SimulationConfig(
+        scheme=args.scheme,
+        num_nodes=args.nodes,
+        duration=max(trace.duration + 60.0, 120.0),
+        warmup=0.0,
+        seed=args.seed,
+    )
+    sim = Simulation(config)
+    sim.use_trace(trace)
+    result = sim.run()
+    print(f"replayed {len(trace)} events: {result}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-dup`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

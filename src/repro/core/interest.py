@@ -1,0 +1,162 @@
+"""Interest measurement policies.
+
+The paper's policy (Section III-B): "if the number of queries a node
+receives in the last TTL interval is greater than a threshold value c, the
+node is considered to be interested in the index."  Queries *received*
+covers both locally generated queries and forwarded requests arriving from
+downstream.
+
+:class:`WindowInterestPolicy` implements exactly that sliding window.
+:class:`EwmaInterestPolicy` is an alternative (exponentially weighted
+arrival-rate estimate) used by the ablation benchmark to quantify how much
+the policy choice matters.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Protocol
+
+from repro.errors import ConfigError
+
+
+class InterestPolicy(Protocol):
+    """Per-node interest estimator fed with query arrival times."""
+
+    def record(self, now: float) -> None:
+        """Register one query arrival at time ``now``."""
+        ...
+
+    def is_interested(self, now: float) -> bool:
+        """Whether the node currently qualifies as interested."""
+        ...
+
+
+class WindowInterestPolicy:
+    """The paper's sliding-window threshold policy.
+
+    Parameters
+    ----------
+    window:
+        Length of the trailing interval (the index TTL in the paper).
+    threshold:
+        The paper's ``c``: the node is interested when *more than*
+        ``threshold`` queries arrived within the window.
+    """
+
+    __slots__ = ("_window", "_threshold", "_arrivals")
+
+    def __init__(self, window: float, threshold: int):
+        if window <= 0:
+            raise ConfigError(f"window must be positive, got {window}")
+        if threshold < 0:
+            raise ConfigError(f"threshold must be >= 0, got {threshold}")
+        self._window = float(window)
+        self._threshold = int(threshold)
+        self._arrivals: deque[float] = deque()
+
+    def record(self, now: float) -> None:
+        """Register one query arrival."""
+        self._prune(now)
+        self._arrivals.append(now)
+
+    def is_interested(self, now: float) -> bool:
+        """More than ``threshold`` arrivals in ``(now - window, now]``."""
+        self._prune(now)
+        return len(self._arrivals) > self._threshold
+
+    def count(self, now: float) -> int:
+        """Arrivals currently inside the window."""
+        self._prune(now)
+        return len(self._arrivals)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self._window
+        arrivals = self._arrivals
+        while arrivals and arrivals[0] <= horizon:
+            arrivals.popleft()
+
+    @property
+    def window(self) -> float:
+        """The trailing interval length."""
+        return self._window
+
+    @property
+    def threshold(self) -> int:
+        """The paper's ``c``."""
+        return self._threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowInterestPolicy(window={self._window}, "
+            f"threshold={self._threshold}, pending={len(self._arrivals)})"
+        )
+
+
+class EwmaInterestPolicy:
+    """Interest from an exponentially weighted query-rate estimate.
+
+    The estimated arrival rate decays between arrivals; the node is
+    interested while the estimated number of arrivals per window exceeds
+    the threshold.  Compared to the window policy this reacts faster to
+    bursts and forgets faster after them — the ablation quantifies the
+    difference under Pareto arrivals.
+
+    Parameters
+    ----------
+    window:
+        Reference interval used to convert the rate into an expected
+        arrival count (kept equal to the TTL for comparability).
+    threshold:
+        Interested while ``rate * window > threshold``.
+    half_life:
+        Time for the rate estimate to decay by half with no arrivals.
+    """
+
+    __slots__ = ("_window", "_threshold", "_decay", "_rate", "_last")
+
+    def __init__(self, window: float, threshold: int, half_life: float | None = None):
+        if window <= 0:
+            raise ConfigError(f"window must be positive, got {window}")
+        if threshold < 0:
+            raise ConfigError(f"threshold must be >= 0, got {threshold}")
+        half_life = half_life if half_life is not None else window / 2
+        if half_life <= 0:
+            raise ConfigError(f"half_life must be positive, got {half_life}")
+        self._window = float(window)
+        self._threshold = int(threshold)
+        self._decay = math.log(2.0) / half_life
+        self._rate = 0.0
+        self._last = 0.0
+
+    def record(self, now: float) -> None:
+        """Register one query arrival; bumps the decayed rate estimate."""
+        self._advance(now)
+        self._rate += self._decay  # unit impulse normalized by the decay
+
+    def is_interested(self, now: float) -> bool:
+        """Whether the decayed rate maps to > threshold arrivals/window."""
+        self._advance(now)
+        return self._rate * self._window > self._threshold
+
+    def _advance(self, now: float) -> None:
+        if now > self._last:
+            self._rate *= math.exp(-self._decay * (now - self._last))
+            self._last = now
+
+    @property
+    def window(self) -> float:
+        """The reference interval length."""
+        return self._window
+
+    @property
+    def threshold(self) -> int:
+        """Arrivals-per-window threshold."""
+        return self._threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"EwmaInterestPolicy(window={self._window}, "
+            f"threshold={self._threshold}, rate={self._rate:.4g})"
+        )

@@ -1,0 +1,208 @@
+"""Node arrival, departure, and failure handling (paper Section III-C).
+
+The underlying peer-to-peer protocol repairs the index search tree itself;
+DUP "only makes necessary adjustments to the tree when the topology
+changes".  This module performs both in one atomic step per event:
+
+- **Arrival** (:meth:`DupMaintenance.node_joined_edge` /
+  :meth:`~DupMaintenance.node_joined_leaf`): a joining node lands either
+  on an existing search path (inheriting the subscriber entries that now
+  route through it — one notification hop) or outside every virtual path
+  (no DUP action).
+- **Departure** (:meth:`~DupMaintenance.node_left`): a neighbor absorbs
+  the leaver's key space and "acts as" it; the leaver's subscriber entries
+  are handed over and, when the absorber's upstream advertisement changes,
+  a corrective ``substitute`` travels up.  A departing *end node of a
+  virtual path* instead clears its path with an ``unsubscribe`` (the
+  paper's stated exception).
+- **Failure** (:meth:`~DupMaintenance.node_failed`): the crashed node's
+  state is lost.  Its upstream virtual-path neighbor detects the failure
+  and emits ``unsubscribe(failed)`` (paper failure case 2); every node the
+  failed node pushed to re-establishes its path with a *refresh subscribe*
+  (cases 3 and 4).  Case 1 (node on no virtual path) needs no action, and
+  case 5 (the root) is :meth:`~DupMaintenance.root_failed`.
+
+Control flows are emitted through an injected ``emit(from_node, payload)``
+callback so the same logic runs under the discrete-event engine (real
+messages, hop charges, latencies) and under the synchronous walker used by
+the protocol tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.protocol import DupProtocol
+from repro.core.subscriber_list import SubscriberList
+from repro.errors import TopologyError
+from repro.net.message import RefreshSubscribe, Subscribe, Substitute, Unsubscribe
+from repro.topology.tree import SearchTree
+
+NodeId = int
+EmitUpstream = Callable[[NodeId, object], None]
+ChargeHops = Callable[[int], None]
+
+
+def _advertisement(s_list: SubscriberList, node: NodeId) -> Optional[NodeId]:
+    """What ``node`` currently advertises to its parent (None if nothing)."""
+    if len(s_list) == 0:
+        return None
+    if len(s_list) >= 2:
+        return node
+    return s_list.first
+
+
+class DupMaintenance:
+    """Applies churn events to the search tree and the DUP state.
+
+    Parameters
+    ----------
+    protocol:
+        The global DUP state machine.
+    tree:
+        The index search tree (mutated in place by churn events).
+    emit:
+        ``emit(from_node, payload)`` delivers a control payload from
+        ``from_node`` to its parent (one charged hop, then normal
+        Figure-3 processing and forwarding).
+    charge:
+        Charges bookkeeping hops that are not Figure-3 flows (the join
+        notification); defaults to a no-op.
+    """
+
+    def __init__(
+        self,
+        protocol: DupProtocol,
+        tree: SearchTree,
+        emit: EmitUpstream,
+        charge: Optional[ChargeHops] = None,
+    ):
+        self._protocol = protocol
+        self._tree = tree
+        self._emit = emit
+        self._charge = charge or (lambda hops: None)
+
+    # -- arrival ------------------------------------------------------------
+    def node_joined_edge(
+        self, new: NodeId, upper: NodeId, lower: NodeId
+    ) -> None:
+        """A node joins on the edge between ``upper`` and ``lower``.
+
+        ``new`` takes over the part of ``upper``'s key space that routes
+        toward ``lower``, so the subscriber entries of ``upper`` that live
+        in that branch now also route through ``new`` (paper: "N3 notifies
+        N3' that N6 is in its subscriber list; N3' inserts N6 ... and
+        becomes an intermediate node in the virtual path").
+        """
+        inherited = [
+            entry
+            for entry in self._protocol.s_list(upper)
+            if entry != upper and self._routes_through(upper, entry, lower)
+        ]
+        self._tree.insert_on_edge(upper, lower, new)
+        if inherited:
+            self._protocol.adopt_entries(new, inherited)
+            self._charge(1)  # upper -> new handover notification
+
+    def node_joined_leaf(self, parent: NodeId, new: NodeId) -> None:
+        """A node joins outside every virtual path: no DUP action needed."""
+        self._tree.add_leaf(parent, new)
+
+    # -- graceful departure -----------------------------------------------------
+    def node_left(self, node: NodeId) -> None:
+        """A node announces its departure and hands over its state."""
+        if node == self._tree.root:
+            raise TopologyError("use root_failed/replace for the root")
+        s_node = self._protocol.s_list(node)
+        if len(s_node) == 1 and node in s_node:
+            # Paper's exception: the end node of a virtual path clears its
+            # path before leaving.
+            self._emit(node, Unsubscribe(node))
+            self._protocol.drop_node(node)
+            self._tree.splice_out(node)
+            return
+
+        entries = [entry for entry in s_node.snapshot() if entry != node]
+        self._protocol.drop_node(node)
+        parent = self._tree.splice_out(node)
+        if not entries:
+            return  # the node was on no virtual path (or only self-subscribed)
+
+        parent_list = self._protocol.s_list(parent)
+        pre_adv = _advertisement(parent_list, parent)
+        parent_list.discard(node)
+        self._protocol.adopt_entries(parent, entries)
+        self._charge(1)  # node -> parent handover notification
+        post_adv = _advertisement(parent_list, parent)
+        if (
+            parent != self._tree.root
+            and pre_adv is not None
+            and post_adv is not None
+            and pre_adv != post_adv
+        ):
+            # The absorber's upstream advertisement changed (e.g. it now
+            # represents the branch itself): correct the upstream lists.
+            self._emit(parent, Substitute(pre_adv, post_adv))
+
+    # -- failure ----------------------------------------------------------------
+    def node_failed(self, node: NodeId) -> list[NodeId]:
+        """A node crashes without warning; returns the orphans that repair.
+
+        The crashed node's subscriber list is *lost* to the survivors; it
+        is consulted here only to decide which surviving nodes detect the
+        failure — exactly the nodes the paper designates as detectors
+        (the upstream virtual-path neighbor and the push recipients).
+        """
+        if node == self._tree.root:
+            raise TopologyError("use root_failed for the root")
+        s_node = self._protocol.drop_node(node)
+        parent = self._tree.splice_out(node)
+        # Failure case 2: the upstream virtual-path neighbor notices that
+        # its branch through the failed node went silent.
+        if node in self._protocol.s_list(parent):
+            self._emit_local_unsubscribe(parent, node)
+        # Failure cases 3 and 4: every node the failed one pushed to
+        # re-establishes its virtual path.
+        orphans = [entry for entry in s_node if entry != node]
+        for orphan in orphans:
+            self._emit(orphan, RefreshSubscribe(orphan))
+        return orphans
+
+    def root_failed(self, new_root: NodeId) -> None:
+        """The authority fails; ``new_root`` takes over (failure case 5).
+
+        The old root's indices and subscriber list are lost.  Each direct
+        child holding virtual-path state re-registers its advertisement
+        with the new root ("N2 can still setup the virtual path and inform
+        the new root that it should push the index to N3").
+        """
+        old_root = self._tree.root
+        self._protocol.drop_node(old_root)
+        self._tree.replace_root(new_root)
+        for child in self._tree.children(new_root):
+            s_child = self._protocol.s_list(child)
+            advertisement = _advertisement(s_child, child)
+            if advertisement is not None:
+                self._emit(child, Subscribe(advertisement))
+
+    # -- helpers ------------------------------------------------------------
+    def _routes_through(
+        self, upper: NodeId, entry: NodeId, lower: NodeId
+    ) -> bool:
+        """Whether ``entry`` hangs under ``upper``'s branch ``lower``.
+
+        Tolerates stale subscriber entries (a listed node may have left or
+        failed concurrently; its cleanup flows are still in flight).
+        """
+        if entry not in self._tree:
+            return False
+        try:
+            return self._tree.child_branch(upper, entry) == lower
+        except TopologyError:
+            return False
+
+    def _emit_local_unsubscribe(self, at_node: NodeId, subject: NodeId) -> None:
+        """Process an unsubscribe at ``at_node`` itself, then continue up."""
+        result = self._protocol.step(at_node, Unsubscribe(subject))
+        for payload in result.upstream:
+            self._emit(at_node, payload)

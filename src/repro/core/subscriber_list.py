@@ -1,0 +1,94 @@
+"""The per-node subscriber list (``S_list`` in the paper's Figure 3).
+
+A node's subscriber list records "the node ids of the downstream nodes
+(including itself) that are interested in the index.  It only records the
+nearest interested node from each of its downstream branches."  Its length
+is therefore bounded by the node's child count plus one — the low-overhead
+property the paper emphasizes.
+
+Semantically the list is an ordered set: membership matters for the
+protocol transitions, order only for determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+NodeId = int
+
+
+class SubscriberList:
+    """An insertion-ordered set of subscriber node ids."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: "list[NodeId] | None" = None):
+        self._items: list[NodeId] = []
+        if items:
+            for item in items:
+                self.add(item)
+
+    def add(self, node: NodeId) -> bool:
+        """Insert ``node``; returns whether the list changed."""
+        if node in self._items:
+            return False
+        self._items.append(node)
+        return True
+
+    def discard(self, node: NodeId) -> bool:
+        """Remove ``node`` if present; returns whether the list changed."""
+        try:
+            self._items.remove(node)
+        except ValueError:
+            return False
+        return True
+
+    def replace(self, old: NodeId, new: NodeId) -> bool:
+        """Substitute ``old`` with ``new`` in place (paper's substitute).
+
+        Keeps ``old``'s position so branch ordering is stable.  If ``old``
+        is absent, ``new`` is appended instead (tolerates message races);
+        if ``new`` is already present, ``old`` is simply removed.  Returns
+        whether the list changed.
+        """
+        if old == new:
+            return False
+        if new in self._items:
+            return self.discard(old)
+        try:
+            index = self._items.index(old)
+        except ValueError:
+            self._items.append(new)
+            return True
+        self._items[index] = new
+        return True
+
+    @property
+    def first(self) -> NodeId:
+        """The single member (``S_list[0]`` in Figure 3)."""
+        if not self._items:
+            raise IndexError("subscriber list is empty")
+        return self._items[0]
+
+    def snapshot(self) -> tuple[NodeId, ...]:
+        """An immutable copy of the current members, in order."""
+        return tuple(self._items)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SubscriberList):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"SubscriberList({self._items})"

@@ -1,0 +1,152 @@
+"""Global consistency checks over the DUP tree state.
+
+The protocol is distributed: each node only knows its own subscriber list.
+These helpers take the global view (every list plus the search tree) and
+verify the structural properties the paper's correctness argument rests
+on.  They are used by unit and property-based tests after driving the
+protocol through arbitrary subscribe/unsubscribe/churn sequences to a
+quiescent state.
+
+Checked invariants:
+
+1. **Locality** — every subscriber-list member is the node itself or a
+   strict descendant in the search tree.
+2. **Branch uniqueness** — at most one member per downstream branch (the
+   paper's bound: list length <= child count + 1).
+3. **Virtual-path continuity** — a node with a non-empty list has a parent
+   whose list contains the node's upstream *advertisement* (itself when it
+   is in the DUP tree, its single member otherwise).
+4. **Delivery** — every subscribed node is reachable from the root through
+   push edges.
+5. **Frugality** — pushes reach only subscribed nodes or DUP-tree interior
+   nodes (no update is delivered to a node that neither wants nor forwards
+   it — the property CUP lacks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.protocol import DupProtocol
+from repro.errors import ProtocolError
+from repro.topology.tree import SearchTree
+
+NodeId = int
+Resolver = Callable[[NodeId], NodeId]
+
+
+def _identity(node: NodeId) -> NodeId:
+    return node
+
+
+def push_reachable(
+    protocol: DupProtocol,
+    root: NodeId,
+    resolve: Resolver = _identity,
+) -> set[NodeId]:
+    """Nodes that receive pushes, following forwarding semantics.
+
+    Starting from the root, a push travels to every subscriber-list target
+    of each *forwarding* node (the root and DUP-tree interior nodes).
+    ``resolve`` maps departed ids onto their key-space successors.
+    """
+    reachable: set[NodeId] = set()
+    frontier = [resolve(root)]
+    visited = {resolve(root)}
+    while frontier:
+        sender = frontier.pop()
+        if sender != resolve(root) and not protocol.in_dup_tree(sender):
+            continue  # receives but does not forward
+        for target in protocol.push_targets(sender):
+            target = resolve(target)
+            if target in visited:
+                continue
+            visited.add(target)
+            reachable.add(target)
+            frontier.append(target)
+    return reachable
+
+
+def check_dup_invariants(
+    protocol: DupProtocol,
+    tree: SearchTree,
+    interested: Optional[Iterable[NodeId]] = None,
+    resolve: Resolver = _identity,
+) -> None:
+    """Verify all invariants; raise :class:`ProtocolError` on violation.
+
+    Parameters
+    ----------
+    protocol:
+        The global protocol state.
+    tree:
+        The current index search tree.
+    interested:
+        When given, additionally assert that exactly these nodes are
+        subscribed (valid in quiescent, fully propagated states).
+    resolve:
+        Alias resolver mapping departed node ids to their successors.
+    """
+    root = tree.root
+    for node in protocol.nodes_with_state():
+        node = resolve(node)
+        if node not in tree:
+            raise ProtocolError(f"state held by node {node} not in tree")
+        s_list = protocol.s_list(node)
+        branches: set[NodeId] = set()
+        for member in s_list:
+            member = resolve(member)
+            if member == node:
+                continue
+            # Invariant 1: locality.
+            if member not in tree or not tree.on_path_to_root(member, node):
+                raise ProtocolError(
+                    f"subscriber {member} of {node} is not a descendant"
+                )
+            # Invariant 2: branch uniqueness.
+            branch = tree.child_branch(node, member)
+            if branch in branches:
+                raise ProtocolError(
+                    f"two subscribers of {node} share branch {branch}"
+                )
+            branches.add(branch)
+        # Invariant 3: virtual-path continuity.
+        if len(s_list) > 0 and node != root:
+            advertisement = (
+                node if len(s_list) >= 2 else resolve(s_list.first)
+            )
+            parent = tree.parent(node)
+            parent_list = protocol.s_list(parent)
+            members = {resolve(m) for m in parent_list}
+            if advertisement not in members:
+                raise ProtocolError(
+                    f"parent {parent} of {node} does not list its "
+                    f"advertisement {advertisement} (has {sorted(members)})"
+                )
+
+    reachable = push_reachable(protocol, root, resolve)
+    subscribed = {
+        resolve(node)
+        for node in protocol.nodes_with_state()
+        if protocol.is_subscribed(resolve(node))
+    }
+    # Invariant 4: delivery.
+    missing = subscribed - reachable - {resolve(root)}
+    if missing:
+        raise ProtocolError(f"subscribed but unreachable: {sorted(missing)}")
+    # Invariant 5: frugality.
+    for target in reachable:
+        if not protocol.is_subscribed(target) and not protocol.in_dup_tree(
+            target
+        ):
+            raise ProtocolError(
+                f"push reaches {target}, which neither wants nor forwards it"
+            )
+    if interested is not None:
+        interested_set = {resolve(node) for node in interested}
+        if interested_set != subscribed:
+            raise ProtocolError(
+                "interest/subscription mismatch: "
+                f"interested={sorted(interested_set)} "
+                f"subscribed={sorted(subscribed)}"
+            )

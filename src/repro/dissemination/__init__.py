@@ -1,0 +1,35 @@
+"""A general data dissemination platform built on DUP trees.
+
+The paper's conclusion: "DUP provides a low cost platform to propagate
+index updates in peer-to-peer networks.  The idea of DUP may be applied
+to more general data dissemination scenarios.  We plan to extend DUP to a
+general data dissemination platform in overlay networks."  This package
+is that extension:
+
+- Topics are named channels; each topic's key hashes onto the overlay
+  (a Chord ring), making the key's owner the topic's authority and the
+  union of lookup routes the topic's search tree.
+- Nodes subscribe/unsubscribe *explicitly* through the API (no interest
+  inference — dissemination is application-driven), which maps 1:1 onto
+  DUP's subscribe / unsubscribe / substitute machinery, virtual paths and
+  all.
+- Publishing routes the payload to the topic authority along the search
+  tree, then pushes it down the per-topic DUP tree with one-hop
+  short-cuts — so fan-out cost is proportional to the subscriber set, not
+  to the overlay paths covering it (the SCRIBE/Bayeux comparison from the
+  paper's related-work section).
+"""
+
+from repro.dissemination.platform import (
+    Delivery,
+    DisseminationPlatform,
+    PlatformStats,
+    TopicHandle,
+)
+
+__all__ = [
+    "Delivery",
+    "DisseminationPlatform",
+    "PlatformStats",
+    "TopicHandle",
+]

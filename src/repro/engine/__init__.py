@@ -1,0 +1,19 @@
+"""Simulation engine: configuration, wiring, and replication running."""
+
+from repro.engine.config import SimulationConfig
+from repro.engine.results import ComparisonResult, ReplicatedResult, SimulationResult
+from repro.engine.multikey import MultiKeySimulation
+from repro.engine.runner import compare_schemes, run_replications, run_simulation
+from repro.engine.simulation import Simulation
+
+__all__ = [
+    "ComparisonResult",
+    "MultiKeySimulation",
+    "ReplicatedResult",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "compare_schemes",
+    "run_replications",
+    "run_simulation",
+]

@@ -1,0 +1,212 @@
+"""Simulation configuration (the paper's Table I, plus engine knobs).
+
+``SimulationConfig()`` with no arguments reproduces the paper's default
+parameters: 4096 nodes, maximum degree 4, one query per second network-
+wide, Zipf theta 0.95, threshold c = 6, TTL 60 minutes, push lead 1
+minute, exponential hop latency with mean 0.1 s, and a >= 180,000 s
+horizon.  :meth:`SimulationConfig.benchmark_scale` returns a laptop-scale
+variant used by the benchmark harness (same shapes, smaller wall-clock).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.workload.churn import ChurnConfig
+
+TOPOLOGIES = ("random-tree", "chord", "can", "balanced", "chain", "star")
+ARRIVALS = ("exponential", "pareto")
+INTEREST_POLICIES = ("window", "ewma")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All parameters of one simulation run.
+
+    Paper parameters
+    ----------------
+    scheme:
+        ``"pcx"``, ``"cup"``, ``"dup"``, or an ablation baseline.
+    num_nodes:
+        Overlay size ``n`` (paper default 4096, range 256-16384).
+    max_degree:
+        Maximum children per search-tree node ``D`` (default 4, range
+        2-10).
+    query_rate:
+        Network-wide mean query arrival rate ``lambda`` in queries per
+        second (default 1, range 0.01-100).
+    arrival:
+        ``"exponential"`` (default) or ``"pareto"`` inter-arrival times.
+    pareto_alpha:
+        Pareto tail index (paper uses 1.05 and 1.20).
+    zipf_theta:
+        Query placement skew (paper sweeps [0.5, 4]; Table I's default
+        column is partly illegible, we use the customary 0.95).
+    threshold_c:
+        Interest threshold ``c`` (default 6, range 2-10).
+    ttl:
+        Index TTL in seconds (60 minutes per the measurement study the
+        paper cites).
+    push_lead:
+        The root re-issues/pushes this long before expiry (1 minute).
+    hop_latency_mean:
+        Mean of the exponential per-hop message latency (0.1 s).
+    duration:
+        Simulated horizon (paper: at least 180,000 s).
+
+    Engine parameters
+    -----------------
+    topology:
+        ``"random-tree"`` (the paper's generator), ``"chord"`` / ``"can"``
+        (trees derived from real DHT routing paths), or a regular shape
+        for tests.
+    interest_policy:
+        ``"window"`` (the paper's) or ``"ewma"`` (ablation).
+    warmup:
+        Metrics (latency and cost) ignore everything before this time.
+    seed:
+        Root seed for all random streams.
+    root_queries:
+        Whether the authority node also originates queries (off by
+        default: its queries are answered locally and only dilute the
+        metrics).
+    piggyback:
+        Whether subscribe/register bits ride on request packets for free
+        (paper's design; disable for the ablation).
+    immediate_push:
+        Whether an explicitly subscribing node is immediately sent the
+        current index (paper: the root "pushes the current and future
+        updated index").
+    eager_subscribe:
+        When a DUP node becomes interested on a local cache *hit*, send
+        the subscription as an explicit hop-by-hop walk right away
+        instead of deferring it to ride the node's next outgoing request
+        (the paper allows both; deferred piggybacking is the default and
+        the eager variant is an ablation).
+    count_keepalive:
+        Whether keep-alive traffic counts toward query cost.
+    keep_latency_samples:
+        Retain per-query latencies for confidence intervals.
+    churn:
+        Optional churn rates (None disables churn).
+    """
+
+    scheme: str = "dup"
+    num_nodes: int = 4096
+    max_degree: int = 4
+    query_rate: float = 1.0
+    arrival: str = "exponential"
+    pareto_alpha: float = 1.05
+    zipf_theta: float = 0.95
+    threshold_c: int = 6
+    ttl: float = 3600.0
+    push_lead: float = 60.0
+    hop_latency_mean: float = 0.1
+    duration: float = 180_000.0
+    topology: str = "random-tree"
+    interest_policy: str = "window"
+    warmup: float = 3600.0
+    seed: int = 1
+    root_queries: bool = False
+    piggyback: bool = True
+    immediate_push: bool = True
+    eager_subscribe: bool = False
+    count_keepalive: bool = False
+    keep_latency_samples: bool = True
+    churn: Optional[ChurnConfig] = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any invalid parameter."""
+        if self.num_nodes < 2:
+            raise ConfigError(f"num_nodes must be >= 2, got {self.num_nodes}")
+        if self.max_degree < 1:
+            raise ConfigError(
+                f"max_degree must be >= 1, got {self.max_degree}"
+            )
+        if self.query_rate <= 0:
+            raise ConfigError(
+                f"query_rate must be positive, got {self.query_rate}"
+            )
+        if self.arrival not in ARRIVALS:
+            raise ConfigError(
+                f"arrival must be one of {ARRIVALS}, got {self.arrival!r}"
+            )
+        if self.arrival == "pareto" and self.pareto_alpha <= 1:
+            raise ConfigError(
+                "pareto_alpha must exceed 1 so the mean rate exists; "
+                f"got {self.pareto_alpha}"
+            )
+        if self.zipf_theta < 0:
+            raise ConfigError(
+                f"zipf_theta must be >= 0, got {self.zipf_theta}"
+            )
+        if self.threshold_c < 0:
+            raise ConfigError(
+                f"threshold_c must be >= 0, got {self.threshold_c}"
+            )
+        if self.ttl <= 0:
+            raise ConfigError(f"ttl must be positive, got {self.ttl}")
+        if not 0 <= self.push_lead < self.ttl:
+            raise ConfigError(
+                f"push_lead must lie in [0, ttl); got {self.push_lead}"
+            )
+        if self.hop_latency_mean <= 0:
+            raise ConfigError(
+                "hop_latency_mean must be positive, got "
+                f"{self.hop_latency_mean}"
+            )
+        if self.duration <= self.warmup:
+            raise ConfigError(
+                f"duration ({self.duration}) must exceed warmup "
+                f"({self.warmup})"
+            )
+        if self.warmup < 0:
+            raise ConfigError(f"warmup must be >= 0, got {self.warmup}")
+        if self.topology not in TOPOLOGIES:
+            raise ConfigError(
+                f"topology must be one of {TOPOLOGIES}, got {self.topology!r}"
+            )
+        if self.interest_policy not in INTEREST_POLICIES:
+            raise ConfigError(
+                f"interest_policy must be one of {INTEREST_POLICIES}, "
+                f"got {self.interest_policy!r}"
+            )
+
+    def replace(self, **changes) -> "SimulationConfig":
+        """A copy with the given fields changed (validated)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def paper_defaults(cls, **overrides) -> "SimulationConfig":
+        """The paper's Table I defaults (full fidelity; slow in Python)."""
+        return cls(**overrides)
+
+    @classmethod
+    def benchmark_scale(cls, **overrides) -> "SimulationConfig":
+        """Laptop-scale defaults for the benchmark harness.
+
+        Shrinks the population and horizon while preserving every shape
+        the paper reports (the experiments sweep the same parameters).
+        """
+        defaults = {
+            "num_nodes": 512,
+            "duration": 3600.0 * 5,
+            "warmup": 3600.0,
+        }
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.scheme} n={self.num_nodes} D={self.max_degree} "
+            f"lambda={self.query_rate} {self.arrival} "
+            f"theta={self.zipf_theta} c={self.threshold_c} "
+            f"T={self.duration:.0f}s seed={self.seed}"
+        )

@@ -1,0 +1,311 @@
+"""Multi-key simulation: many indices sharing one overlay.
+
+The paper's evaluation fixes a single index at one authority ("the index
+is maintained at the root node") — a clean isolation of one propagation
+tree.  Real deployments serve many keys at once: each key hashes to its
+own authority on the DHT, giving every key its own search tree over the
+*same* node population, with caches, transport, and cost accounting
+shared.
+
+:class:`MultiKeySimulation` builds a Chord ring, derives one search tree
+per key, instantiates an independent scheme instance per key (each bound
+to a per-key facade slice), and drives a workload where queries pick a
+key by a Zipf law over keys and an origin node by the paper's Zipf law
+over nodes.  Metrics aggregate across keys; per-key breakdowns are
+available for analysis.
+
+Churn is intentionally out of scope here (each key's tree would need its
+own repair sequencing); use the single-key engine for churn studies.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.core.interest import EwmaInterestPolicy, WindowInterestPolicy
+from repro.engine.config import SimulationConfig
+from repro.engine.results import SimulationResult
+from repro.errors import ConfigError
+from repro.index.authority import Authority
+from repro.index.cache import IndexCache
+from repro.index.entry import IndexVersion
+from repro.metrics.counters import CostLedger
+from repro.metrics.latency import LatencyRecorder
+from repro.net.message import Message, ReplyMessage
+from repro.net.transport import Transport
+from repro.schemes.registry import make_scheme
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+from repro.stats.distributions import Exponential, ZipfSelector
+from repro.topology.chord import ChordRing
+from repro.topology.chord_tree import chord_search_tree
+from repro.workload.arrivals import make_arrival_process
+from repro.workload.selection import ZipfNodeSelector
+
+NodeId = int
+
+
+class _KeySlice:
+    """The per-key facade a scheme instance is bound to.
+
+    Implements the same narrow interface as
+    :class:`repro.engine.simulation.Simulation` but scoped to one key's
+    tree and authority, while sharing the clock, transport, caches, and
+    metric recorders with every other key.
+    """
+
+    def __init__(self, owner: "MultiKeySimulation", key: int, tree):
+        self._owner = owner
+        self.key = key
+        self.tree = tree
+        self.authority: Optional[Authority] = None
+
+    # -- shared state --------------------------------------------------------
+    @property
+    def env(self) -> Environment:
+        """The shared simulation clock."""
+        return self._owner.env
+
+    @property
+    def transport(self) -> Transport:
+        """The shared transport (one cost ledger for all keys)."""
+        return self._owner.transport
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The run configuration."""
+        return self._owner.config
+
+    @property
+    def ledger(self) -> CostLedger:
+        """The shared cost ledger."""
+        return self._owner.ledger
+
+    # -- per-key topology -------------------------------------------------------
+    def is_root(self, node: NodeId) -> bool:
+        """Whether ``node`` is this key's authority."""
+        return node == self.tree.root
+
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        """Parent on this key's search tree."""
+        if node not in self.tree:
+            return None
+        return self.tree.parent(node)
+
+    def alive(self, node: NodeId) -> bool:
+        """Whether ``node`` is in the overlay (static here)."""
+        return node in self.tree
+
+    def cache(self, node: NodeId) -> IndexCache:
+        """The node's (shared, multi-key) cache."""
+        return self._owner.cache(node)
+
+    def lookup(self, node: NodeId) -> Optional[IndexVersion]:
+        """A valid copy of this key's index at ``node``."""
+        if node == self.tree.root:
+            if self.authority is None:
+                return None
+            return self.authority.current
+        return self.cache(node).get(self.key, self.env.now)
+
+    def record_latency(self, hops: float, issued_at: float) -> None:
+        """Record a completed query (shared recorder + per-key count)."""
+        self._owner.record_latency(self.key, hops, issued_at)
+
+    def note_incomplete_query(self) -> None:
+        """Reply lost (cannot happen without churn; kept for interface)."""
+        self._owner.note_incomplete_query()
+
+    def make_interest_policy(self):
+        """Per-node, per-key interest policy."""
+        config = self.config
+        if config.interest_policy == "window":
+            return WindowInterestPolicy(config.ttl, config.threshold_c)
+        return EwmaInterestPolicy(config.ttl, config.threshold_c)
+
+    def forget_node(self, node: NodeId) -> None:  # pragma: no cover - no churn
+        """Interface parity with the single-key engine."""
+
+
+class MultiKeySimulation:
+    """Simulate ``num_keys`` indices over one shared Chord overlay.
+
+    Parameters
+    ----------
+    config:
+        Base configuration.  ``topology`` must be ``"chord"`` (per-key
+        trees require a real DHT); ``query_rate`` is the network-wide
+        rate across *all* keys; churn must be disabled.
+    num_keys:
+        Number of distinct indices.
+    key_zipf_theta:
+        Popularity skew across keys (0 = uniform).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        num_keys: int = 8,
+        key_zipf_theta: float = 0.8,
+    ):
+        config.validate()
+        if num_keys < 1:
+            raise ConfigError(f"need at least one key, got {num_keys}")
+        if config.topology != "chord":
+            raise ConfigError("multi-key simulation requires topology='chord'")
+        if config.churn is not None and config.churn.enabled:
+            raise ConfigError("multi-key simulation does not support churn")
+        self.config = config
+        self.num_keys = num_keys
+        self.streams = RandomStreams(config.seed)
+        self.env = Environment()
+        rng = self.streams.get("topology")
+        self.ring = ChordRing.random(config.num_nodes, rng, bits=32)
+        self.ledger = CostLedger(
+            clock=lambda: self.env.now,
+            warmup=config.warmup,
+            count_keepalive=config.count_keepalive,
+        )
+        self.latency = LatencyRecorder(
+            clock=lambda: self.env.now,
+            warmup=config.warmup,
+            keep_samples=config.keep_latency_samples,
+        )
+        self.transport = Transport(
+            env=self.env,
+            latency=Exponential(config.hop_latency_mean),
+            rng=self.streams.get("latency"),
+            ledger=self.ledger,
+        )
+        self.transport.bind(self._dispatch)
+        self._caches: dict[NodeId, IndexCache] = {}
+        self._incomplete = 0
+        self._queries_per_key: dict[int, int] = {}
+
+        self.slices: dict[int, _KeySlice] = {}
+        self.schemes: dict[int, object] = {}
+        for index in range(num_keys):
+            key = int(rng.integers(0, 1 << 32))
+            while key in self.slices:  # pragma: no cover - 2^-32 chance
+                key = int(rng.integers(0, 1 << 32))
+            tree = chord_search_tree(self.ring, key)
+            slice_ = _KeySlice(self, key, tree)
+            scheme = make_scheme(config.scheme)
+            scheme.bind(slice_)
+            self.slices[key] = slice_
+            self.schemes[key] = scheme
+            self._queries_per_key[key] = 0
+
+        self._key_selector = ZipfSelector(num_keys, key_zipf_theta)
+        self._key_order = list(self.slices)
+        self._node_selector = ZipfNodeSelector(
+            list(self.ring.node_ids),
+            config.zipf_theta,
+            self.streams.get("placement"),
+        )
+        self._ran = False
+
+    # -- shared services ---------------------------------------------------
+    def cache(self, node: NodeId) -> IndexCache:
+        """One cache per node, holding entries for every key."""
+        cache = self._caches.get(node)
+        if cache is None:
+            cache = IndexCache()
+            self._caches[node] = cache
+        return cache
+
+    def record_latency(self, key: int, hops: float, issued_at: float) -> None:
+        """Aggregate recorder plus a per-key query counter."""
+        self.latency.record(hops, issued_at)
+        if issued_at >= self.config.warmup:
+            self._queries_per_key[key] += 1
+
+    def note_incomplete_query(self) -> None:
+        """Interface parity; unreachable without churn."""
+        self._incomplete += 1
+
+    def _dispatch(self, destination: NodeId, message: Message) -> None:
+        scheme = self.schemes.get(message.key)
+        if scheme is None:  # pragma: no cover - defensive
+            self.transport.drop()
+            if isinstance(message, ReplyMessage):
+                self.note_incomplete_query()
+            return
+        scheme.on_message(destination, message)
+
+    # -- workload ------------------------------------------------------------
+    def _query_loop(self):
+        config = self.config
+        arrivals = make_arrival_process(
+            config.arrival,
+            config.query_rate,
+            self.streams.get("arrivals"),
+            config.pareto_alpha,
+        )
+        key_rng = self.streams.get("key-draws")
+        node_rng = self.streams.get("placement-draws")
+        while True:
+            yield self.env.timeout(arrivals.next_gap())
+            key = self._key_order[self._key_selector.sample(key_rng)]
+            node = self._node_selector.sample(node_rng)
+            slice_ = self.slices[key]
+            if node == slice_.tree.root:
+                # The authority answers its own queries locally.
+                self.record_latency(key, 0, self.env.now)
+                continue
+            self.schemes[key].on_local_query(node)
+
+    # -- running ----------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run and return aggregate results (per-key counts in extras)."""
+        if self._ran:
+            raise RuntimeError("a MultiKeySimulation runs only once")
+        self._ran = True
+        started = time.perf_counter()
+        for slice_ in self.slices.values():
+            scheme = self.schemes[slice_.key]
+            slice_.authority = Authority(
+                env=self.env,
+                key=slice_.key,
+                ttl=self.config.ttl,
+                push_lead=self.config.push_lead,
+                on_new_version=scheme.on_new_version,
+                value=f"host-of-{slice_.key}",
+            )
+        self.env.process(self._query_loop(), name="multikey-workload")
+        self.env.run(until=self.config.duration)
+        wall = time.perf_counter() - started
+
+        extras: dict[str, object] = {
+            "num_keys": self.num_keys,
+            "queries_per_key": dict(
+                sorted(
+                    self._queries_per_key.items(),
+                    key=lambda item: -item[1],
+                )
+            ),
+        }
+        subscribed_total = 0
+        for scheme in self.schemes.values():
+            if hasattr(scheme, "subscribed_nodes"):
+                subscribed_total += len(scheme.subscribed_nodes())
+        if subscribed_total:
+            extras["total_subscriptions"] = subscribed_total
+        return SimulationResult(
+            config=self.config,
+            scheme=f"{self.config.scheme} (x{self.num_keys} keys)",
+            queries=self.latency.count,
+            mean_latency=self.latency.mean,
+            latency_ci=self.latency.confidence_interval()
+            if self.config.keep_latency_samples and self.latency.count
+            else None,
+            cost_per_query=self.ledger.cost_per_query(self.latency.count),
+            hit_rate=self.latency.hit_rate,
+            hop_breakdown=dict(self.ledger.breakdown()),
+            dropped_messages=self.transport.dropped,
+            incomplete_queries=self._incomplete,
+            final_population=len(self.ring),
+            wall_seconds=wall,
+            extras=extras,
+        )

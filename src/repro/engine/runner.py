@@ -1,0 +1,119 @@
+"""Running simulations: single runs, replications, scheme comparisons.
+
+The comparison runner uses *common random numbers*: every scheme sees the
+identical topology, query stream, and placement for each replication seed,
+so scheme differences are not confounded by workload noise — and the
+"relative cost compared to PCX" ratios are computed pairwise per seed,
+exactly as the paper plots them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.engine.config import SimulationConfig
+from repro.engine.results import (
+    ComparisonResult,
+    ReplicatedResult,
+    SimulationResult,
+)
+from repro.engine.simulation import Simulation
+from repro.errors import ExperimentError
+from repro.stats.confidence import mean_confidence_interval
+
+PAPER_SCHEMES = ("pcx", "cup", "dup")
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Build and run one simulation."""
+    return Simulation(config).run()
+
+
+def run_replications(
+    config: SimulationConfig, replications: int = 3
+) -> ReplicatedResult:
+    """Run ``replications`` independent seeds of one configuration."""
+    if replications < 1:
+        raise ExperimentError(
+            f"need at least one replication, got {replications}"
+        )
+    runs = [
+        run_simulation(config.replace(seed=config.seed + offset))
+        for offset in range(replications)
+    ]
+    return ReplicatedResult.from_runs(runs)
+
+
+def compare_schemes(
+    config: SimulationConfig,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    replications: int = 3,
+    baseline: str = "pcx",
+) -> ComparisonResult:
+    """Run several schemes on identical workloads and compare them.
+
+    Parameters
+    ----------
+    config:
+        Base configuration; its ``scheme`` field is overridden per run.
+    schemes:
+        Scheme names to compare (default: the paper's three).
+    replications:
+        Independent seeds per scheme (paired across schemes).
+    baseline:
+        Scheme the relative costs are normalized to; it is run even if it
+        is not in ``schemes``.
+    """
+    if replications < 1:
+        raise ExperimentError(
+            f"need at least one replication, got {replications}"
+        )
+    all_schemes = list(dict.fromkeys(list(schemes) + [baseline]))
+    runs: dict[str, list[SimulationResult]] = {name: [] for name in all_schemes}
+    for offset in range(replications):
+        seeded = config.replace(seed=config.seed + offset)
+        for name in all_schemes:
+            runs[name].append(run_simulation(seeded.replace(scheme=name)))
+
+    by_scheme = {
+        name: ReplicatedResult.from_runs(results)
+        for name, results in runs.items()
+        if name in schemes
+    }
+    baseline_costs = [run.cost_per_query for run in runs[baseline]]
+    relative: dict[str, object] = {}
+    for name in schemes:
+        ratios = [
+            run.cost_per_query / base
+            for run, base in zip(runs[name], baseline_costs)
+            if base > 0
+        ]
+        relative[name] = mean_confidence_interval(ratios)
+    return ComparisonResult(
+        by_scheme=by_scheme, relative_cost=relative, baseline=baseline
+    )
+
+
+def sweep(
+    config: SimulationConfig,
+    parameter: str,
+    values: Sequence,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    replications: int = 2,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Run a one-parameter sweep and return {value: ComparisonResult}.
+
+    The workhorse behind every paper figure: Figure 4 is
+    ``sweep(cfg, "query_rate", [...])``, Figure 6 is
+    ``sweep(cfg, "max_degree", [...])``, and so on.
+    """
+    results = {}
+    for value in values:
+        changes = {parameter: value}
+        if extra:
+            changes.update(extra)
+        results[value] = compare_schemes(
+            config.replace(**changes), schemes, replications
+        )
+    return results

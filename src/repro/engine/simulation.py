@@ -1,0 +1,351 @@
+"""Wiring of one simulation run.
+
+:class:`Simulation` builds the topology, transport, caches, scheme,
+authority, and workload from a :class:`~repro.engine.config.SimulationConfig`,
+runs the event loop for the configured horizon, and collects the paper's
+two metrics into a :class:`~repro.engine.results.SimulationResult`.
+
+It also serves as the narrow facade schemes program against: clock
+(``env``), topology (``tree``, ``parent``, ``is_root``, ``alive``),
+messaging (``transport``), state (``cache``, ``lookup``), and metrics
+(``record_latency``, ``ledger``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.core.interest import EwmaInterestPolicy, WindowInterestPolicy
+from repro.engine.config import SimulationConfig
+from repro.engine.results import SimulationResult
+from repro.errors import ConfigError
+from repro.index.authority import Authority
+from repro.index.cache import IndexCache
+from repro.index.entry import IndexVersion
+from repro.metrics.counters import CostLedger
+from repro.metrics.latency import LatencyRecorder
+from repro.net.message import Message, ReplyMessage
+from repro.net.transport import Transport
+from repro.schemes.registry import make_scheme
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+from repro.stats.distributions import Exponential
+from repro.topology.chord import ChordRing
+from repro.topology.chord_tree import chord_search_tree
+from repro.topology.can import CanOverlay, can_search_tree
+from repro.topology.generators import (
+    chain_tree,
+    complete_tree,
+    random_search_tree,
+    star_tree,
+)
+from repro.topology.tree import SearchTree
+from repro.workload.arrivals import make_arrival_process
+from repro.workload.churn import ChurnEvent, ChurnProcess
+from repro.workload.selection import ZipfNodeSelector
+
+NodeId = int
+
+
+class Simulation:
+    """One end-to-end simulation run (build once, :meth:`run` once)."""
+
+    def __init__(self, config: SimulationConfig):
+        config.validate()
+        self.config = config
+        self.streams = RandomStreams(config.seed)
+        self.env = Environment()
+        self.tree, self.key = self._build_topology()
+        self.ledger = CostLedger(
+            clock=lambda: self.env.now,
+            warmup=config.warmup,
+            count_keepalive=config.count_keepalive,
+        )
+        self.latency = LatencyRecorder(
+            clock=lambda: self.env.now,
+            warmup=config.warmup,
+            keep_samples=config.keep_latency_samples,
+        )
+        self.transport = Transport(
+            env=self.env,
+            latency=Exponential(config.hop_latency_mean),
+            rng=self.streams.get("latency"),
+            ledger=self.ledger,
+        )
+        self.transport.bind(self._dispatch)
+        self._caches: dict[NodeId, IndexCache] = {}
+        self._incomplete = 0
+        self._next_node_id = max(self.tree.nodes) + 1
+        eligible = [
+            node
+            for node in self.tree.nodes
+            if config.root_queries or node != self.tree.root
+        ]
+        self.selector = ZipfNodeSelector(
+            eligible, config.zipf_theta, self.streams.get("placement")
+        )
+        self.scheme = make_scheme(config.scheme)
+        self.scheme.bind(self)
+        self.authority: Optional[Authority] = None
+        self._monitor = None
+        self._trace = None
+        self._ran = False
+
+    # -- construction helpers -----------------------------------------------
+    def _build_topology(self) -> tuple[SearchTree, int]:
+        config = self.config
+        rng = self.streams.get("topology")
+        if config.topology == "random-tree":
+            return random_search_tree(config.num_nodes, config.max_degree, rng), 0
+        if config.topology == "chord":
+            ring = ChordRing.random(config.num_nodes, rng, bits=32)
+            key = int(rng.integers(0, 1 << 32))
+            return chord_search_tree(ring, key), key
+        if config.topology == "can":
+            overlay = CanOverlay.random(config.num_nodes, rng, dimensions=2)
+            key = int(rng.integers(0, 1 << 32))
+            return can_search_tree(overlay, key), key
+        if config.topology == "balanced":
+            return complete_tree(config.num_nodes, config.max_degree), 0
+        if config.topology == "chain":
+            return chain_tree(config.num_nodes), 0
+        if config.topology == "star":
+            return star_tree(config.num_nodes), 0
+        raise ConfigError(f"unknown topology {config.topology!r}")
+
+    # -- facade used by schemes ------------------------------------------------
+    def is_root(self, node: NodeId) -> bool:
+        """Whether ``node`` is the current authority (tree root)."""
+        return node == self.tree.root
+
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        """Parent on the index search tree (``None`` at the root)."""
+        if node not in self.tree:
+            return None
+        return self.tree.parent(node)
+
+    def alive(self, node: NodeId) -> bool:
+        """Whether ``node`` is currently part of the overlay."""
+        return node in self.tree
+
+    def cache(self, node: NodeId) -> IndexCache:
+        """The node's index cache (created lazily)."""
+        cache = self._caches.get(node)
+        if cache is None:
+            cache = IndexCache()
+            self._caches[node] = cache
+        return cache
+
+    def lookup(self, node: NodeId) -> Optional[IndexVersion]:
+        """A valid index copy at ``node``, if any.
+
+        The root serves its authoritative (never expiring) copy; everyone
+        else consults the local TTL cache.
+        """
+        if node == self.tree.root:
+            if self.authority is None:
+                return None
+            return self.authority.current
+        return self.cache(node).get(self.key, self.env.now)
+
+    def record_latency(self, hops: float, issued_at: float) -> None:
+        """Record one completed query's request latency."""
+        self.latency.record(hops, issued_at)
+
+    def note_incomplete_query(self) -> None:
+        """A query's reply was lost to churn; it never completes."""
+        self._incomplete += 1
+
+    def forget_node(self, node: NodeId) -> None:
+        """Drop per-node engine state after departure/failure."""
+        self._caches.pop(node, None)
+
+    def make_interest_policy(self):
+        """A fresh per-node interest policy per the configuration."""
+        if self.config.interest_policy == "window":
+            return WindowInterestPolicy(self.config.ttl, self.config.threshold_c)
+        return EwmaInterestPolicy(self.config.ttl, self.config.threshold_c)
+
+    def allocate_node_id(self) -> NodeId:
+        """A fresh node id for a joining node."""
+        node = self._next_node_id
+        self._next_node_id += 1
+        return node
+
+    def use_trace(self, trace) -> None:
+        """Replay a :class:`repro.workload.trace.QueryTrace` instead of
+        generating queries (must be called before :meth:`run`).
+
+        Every event node must exist in the topology; events on departed
+        nodes (churn) are skipped.
+        """
+        if self._ran:
+            raise RuntimeError("use_trace must precede run()")
+        self._trace = trace
+
+    def add_probe(self, name: str, function, interval: float = 600.0):
+        """Sample ``function()`` every ``interval`` simulated seconds.
+
+        Returns the live :class:`repro.sim.monitor.Series`.  Probes must
+        be registered before :meth:`run`; the first call fixes the
+        sampling cadence.
+        """
+        from repro.sim.monitor import Monitor
+
+        if self._monitor is None:
+            self._monitor = Monitor(self.env, interval)
+        return self._monitor.probe(name, function)
+
+    def add_standard_probes(self, interval: float = 600.0) -> dict:
+        """Register the commonly useful probes; returns name -> series.
+
+        - ``hit_rate`` — cumulative post-warm-up local hit rate;
+        - ``mean_latency`` — cumulative post-warm-up latency;
+        - ``population`` — overlay size (churn);
+        - for DUP schemes, ``subscribed`` and ``dup_tree_size``.
+        """
+        probes = {
+            "hit_rate": lambda: self.latency.hit_rate,
+            "mean_latency": lambda: self.latency.mean,
+            "population": lambda: float(len(self.tree)),
+        }
+        if hasattr(self.scheme, "subscribed_nodes"):
+            probes["subscribed"] = lambda: float(
+                len(self.scheme.subscribed_nodes())
+            )
+        if hasattr(self.scheme, "dup_tree_size"):
+            probes["dup_tree_size"] = lambda: float(
+                self.scheme.dup_tree_size()
+            )
+        return {
+            name: self.add_probe(name, function, interval)
+            for name, function in probes.items()
+        }
+
+    # -- internals -----------------------------------------------------------
+    def _dispatch(self, destination: NodeId, message: Message) -> None:
+        if destination not in self.tree:
+            self.transport.drop()
+            if isinstance(message, ReplyMessage):
+                self.note_incomplete_query()
+            return
+        self.scheme.on_message(destination, message)
+
+    def _on_new_version(self, version: IndexVersion) -> None:
+        self.scheme.on_new_version(version)
+
+    def _query_loop(self):
+        config = self.config
+        arrivals = make_arrival_process(
+            config.arrival,
+            config.query_rate,
+            self.streams.get("arrivals"),
+            config.pareto_alpha,
+        )
+        draws = self.streams.get("placement-draws")
+        churning = config.churn is not None and config.churn.enabled
+        while True:
+            yield self.env.timeout(arrivals.next_gap())
+            if churning:
+                node = self.selector.sample_alive(draws, self.alive)
+                if node is None:
+                    continue
+            else:
+                node = self.selector.sample(draws)
+            self.scheme.on_local_query(node)
+
+    def _trace_loop(self):
+        for event in self._trace:
+            delay = event.time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            if self.alive(event.node):
+                self.scheme.on_local_query(event.node)
+
+    def _churn_loop(self):
+        process = ChurnProcess(self.config.churn, self.streams.get("churn"))
+        while True:
+            yield self.env.timeout(process.next_gap())
+            self._apply_churn(process)
+
+    def _apply_churn(self, process: ChurnProcess) -> None:
+        kind = process.next_kind()
+        non_root = [n for n in self.tree.nodes if n != self.tree.root]
+        if kind is ChurnEvent.JOIN_EDGE:
+            if not non_root:
+                return
+            lower = process.pick_victim(non_root)
+            upper = self.tree.parent(lower)
+            self.scheme.on_node_joined_edge(
+                self.allocate_node_id(), upper, lower
+            )
+        elif kind is ChurnEvent.JOIN_LEAF:
+            parent = process.pick_victim(list(self.tree.nodes))
+            self.scheme.on_node_joined_leaf(parent, self.allocate_node_id())
+        else:
+            if len(self.tree) <= process.config.min_population or not non_root:
+                return
+            victim = process.pick_victim(non_root)
+            if kind is ChurnEvent.LEAVE:
+                self.scheme.on_node_left(victim)
+            else:
+                self.scheme.on_node_failed(victim)
+
+    # -- running ----------------------------------------------------------------
+    def start(self) -> None:
+        """Start the authority (idempotent).
+
+        Tests use this to drive queries and churn by hand;
+        :meth:`run` calls it before installing the workload processes.
+        """
+        if self.authority is None:
+            self.authority = Authority(
+                env=self.env,
+                key=self.key,
+                ttl=self.config.ttl,
+                push_lead=self.config.push_lead,
+                on_new_version=self._on_new_version,
+                value=f"host-of-{self.key}",
+            )
+
+    def run(self) -> SimulationResult:
+        """Execute the run and collect results (one-shot)."""
+        if self._ran:
+            raise RuntimeError("a Simulation instance runs only once")
+        self._ran = True
+        started = time.perf_counter()
+        self.start()
+        if self._trace is not None:
+            self.env.process(self._trace_loop(), name="trace-workload")
+        else:
+            self.env.process(self._query_loop(), name="query-workload")
+        if self.config.churn is not None and self.config.churn.enabled:
+            self.env.process(self._churn_loop(), name="churn")
+        self.env.run(until=self.config.duration)
+        wall = time.perf_counter() - started
+        return self._collect(wall)
+
+    def _collect(self, wall_seconds: float) -> SimulationResult:
+        extras: dict[str, object] = {}
+        if hasattr(self.scheme, "subscribed_nodes"):
+            extras["subscribed"] = len(self.scheme.subscribed_nodes())
+        if hasattr(self.scheme, "dup_tree_size"):
+            extras["dup_tree_size"] = self.scheme.dup_tree_size()
+        return SimulationResult(
+            config=self.config,
+            scheme=self.scheme.name,
+            queries=self.latency.count,
+            mean_latency=self.latency.mean,
+            latency_ci=self.latency.confidence_interval()
+            if self.config.keep_latency_samples and self.latency.count
+            else None,
+            cost_per_query=self.ledger.cost_per_query(self.latency.count),
+            hit_rate=self.latency.hit_rate,
+            hop_breakdown=dict(self.ledger.breakdown()),
+            dropped_messages=self.transport.dropped,
+            incomplete_queries=self._incomplete,
+            final_population=len(self.tree),
+            wall_seconds=wall_seconds,
+            extras=extras,
+        )

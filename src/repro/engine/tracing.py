@@ -1,0 +1,150 @@
+"""Structured message logging for debugging and analysis.
+
+A :class:`MessageLog` attaches to a simulation's transport and records
+every delivered message as a compact :class:`LoggedMessage` — time,
+destination, category, type, and key fields — into a bounded ring buffer.
+It is the tool for answering "what actually happened on the wire between
+t=7080 and t=7090?" without scattering print statements through the
+schemes.
+
+Enable via ``MessageLog.attach(sim)`` before ``run()``; query with
+:meth:`between`, :meth:`of_category`, and :meth:`summary`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.net.message import (
+    Category,
+    ControlMessage,
+    Message,
+    PushMessage,
+    QueryMessage,
+    ReplyMessage,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.simulation import Simulation
+
+NodeId = int
+
+
+@dataclass(frozen=True)
+class LoggedMessage:
+    """One delivered message, flattened for inspection."""
+
+    time: float
+    destination: NodeId
+    category: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"t={self.time:.3f} -> {self.destination} "
+            f"[{self.category}] {self.kind} {self.detail}"
+        )
+
+
+def _describe(message: Message) -> tuple[str, str]:
+    if isinstance(message, QueryMessage):
+        return "query", f"origin={message.origin} hops={message.hops}"
+    if isinstance(message, ReplyMessage):
+        return (
+            "reply",
+            f"to={message.destination} request_hops={message.request_hops}",
+        )
+    if isinstance(message, PushMessage):
+        version = getattr(message.version, "version", message.version)
+        return "push", f"from={message.sender} version={version}"
+    if isinstance(message, ControlMessage):
+        payloads = ",".join(type(p).__name__ for p in message.payloads)
+        return "control", f"from={message.sender} payloads=[{payloads}]"
+    return type(message).__name__.lower(), ""
+
+
+class MessageLog:
+    """A bounded log of delivered messages.
+
+    Parameters
+    ----------
+    limit:
+        Maximum retained entries (oldest evicted first).
+    """
+
+    def __init__(self, limit: int = 100_000):
+        if limit < 1:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self._entries: deque[LoggedMessage] = deque(maxlen=limit)
+        self._total = 0
+
+    # -- attachment ---------------------------------------------------------
+    @classmethod
+    def attach(cls, sim: "Simulation", limit: int = 100_000) -> "MessageLog":
+        """Attach a new log to ``sim``'s transport (before ``run()``)."""
+        log = cls(limit)
+        inner = sim.transport._handler
+
+        def observing_handler(destination: NodeId, message: Message) -> None:
+            log.record(sim.env.now, destination, message)
+            inner(destination, message)
+
+        sim.transport.bind(observing_handler)
+        return log
+
+    def record(
+        self, time: float, destination: NodeId, message: Message
+    ) -> None:
+        """Append one delivery."""
+        kind, detail = _describe(message)
+        self._entries.append(
+            LoggedMessage(
+                time=time,
+                destination=destination,
+                category=message.category.value,
+                kind=kind,
+                detail=detail,
+            )
+        )
+        self._total += 1
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LoggedMessage]:
+        return iter(self._entries)
+
+    @property
+    def total_recorded(self) -> int:
+        """All-time count (including evicted entries)."""
+        return self._total
+
+    def between(self, start: float, end: float) -> list[LoggedMessage]:
+        """Entries with ``start <= time <= end``."""
+        return [e for e in self._entries if start <= e.time <= end]
+
+    def of_category(
+        self, category: Category | str, since: float = 0.0
+    ) -> list[LoggedMessage]:
+        """Entries of one category, optionally after ``since``."""
+        name = category.value if isinstance(category, Category) else category
+        return [
+            e for e in self._entries if e.category == name and e.time >= since
+        ]
+
+    def to_node(self, node: NodeId) -> list[LoggedMessage]:
+        """Entries delivered to ``node``."""
+        return [e for e in self._entries if e.destination == node]
+
+    def summary(self) -> dict[str, int]:
+        """Delivery counts by category (over retained entries)."""
+        return dict(Counter(e.category for e in self._entries))
+
+    def tail(self, count: int = 20) -> str:
+        """The last ``count`` entries, rendered."""
+        recent = list(self._entries)[-count:]
+        return "\n".join(str(entry) for entry in recent)

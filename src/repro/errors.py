@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """A failure inside the discrete-event simulation kernel."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a finished environment."""
+
+
+class ProcessError(SimulationError):
+    """A simulation process misbehaved (e.g. yielded a non-event)."""
+
+
+class ConfigError(ReproError):
+    """An invalid simulation or experiment configuration."""
+
+
+class TopologyError(ReproError):
+    """An invalid operation on a tree or overlay topology."""
+
+
+class NodeNotFoundError(TopologyError):
+    """A node id was not present in the topology."""
+
+
+class ProtocolError(ReproError):
+    """A protocol invariant was violated (PCX / CUP / DUP state machines)."""
+
+
+class SubscriptionError(ProtocolError):
+    """An invalid subscribe/unsubscribe/substitute transition in DUP."""
+
+
+class CacheError(ReproError):
+    """An invalid operation on an index cache."""
+
+
+class WorkloadError(ReproError):
+    """An invalid workload specification."""
+
+
+class ExperimentError(ReproError):
+    """A failure while running a paper experiment."""

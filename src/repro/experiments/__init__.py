@@ -1,0 +1,23 @@
+"""One module per paper table/figure, plus ablations and the churn study.
+
+Every experiment exposes ``run(scale=..., replications=..., seed=...)``
+returning an :class:`~repro.experiments.spec.ExperimentResult` that
+
+- carries the rows/series the paper reports (``rows``),
+- renders them as the paper's table or figure data (``render()``), and
+- self-checks the paper's qualitative claims (``shape_checks``).
+
+``scale="bench"`` (default) uses laptop-sized populations and horizons;
+``scale="paper"`` uses the full Table I parameters (slow in pure Python —
+hours per experiment, as in the original study).
+"""
+
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.spec import ExperimentResult, ShapeCheck
+
+__all__ = [
+    "ExperimentResult",
+    "ShapeCheck",
+    "get_experiment",
+    "list_experiments",
+]

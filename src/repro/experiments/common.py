@@ -1,0 +1,49 @@
+"""Shared configuration scaffolding for the paper experiments."""
+
+from __future__ import annotations
+
+from repro.engine.config import SimulationConfig
+from repro.errors import ExperimentError
+
+#: The paper's three compared schemes, in presentation order.
+PAPER_SCHEMES = ("pcx", "cup", "dup")
+
+
+def base_config(scale: str = "bench", seed: int = 1, **overrides) -> SimulationConfig:
+    """The per-scale starting configuration for an experiment.
+
+    ``"bench"`` trims the population and horizon so a full experiment
+    finishes in minutes of wall-clock on a laptop; ``"quick"`` trims
+    further for the pytest-benchmark harness (tens of seconds per
+    table/figure); ``"paper"`` uses the full Table I parameters (4096
+    nodes, >= 180,000 simulated seconds), which takes hours in pure
+    Python — exactly like the original runs.  All sweeps apply
+    identically to any base.
+    """
+    if scale == "quick":
+        defaults = dict(
+            num_nodes=512,
+            duration=3600.0 * 5,
+            warmup=3600.0 * 2,
+            seed=seed,
+        )
+    elif scale == "bench":
+        defaults = dict(
+            num_nodes=1024,
+            duration=3600.0 * 6,
+            warmup=3600.0 * 2,
+            seed=seed,
+        )
+    elif scale == "paper":
+        defaults = dict(
+            num_nodes=4096,
+            duration=180_000.0,
+            warmup=3600.0,
+            seed=seed,
+        )
+    else:
+        raise ExperimentError(
+            f"unknown scale {scale!r}; use 'quick', 'bench', or 'paper'"
+        )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)

@@ -1,0 +1,54 @@
+"""Plain-text rendering helpers for experiment output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "n/a"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no data)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[index]) for line in cells))
+        for index, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in cells
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def monotone(values: Sequence[float], decreasing: bool = True, slack: float = 0.0) -> bool:
+    """Whether a series is (weakly) monotone, tolerating ``slack`` noise.
+
+    ``slack`` is the relative amount each step may move the "wrong" way
+    before the trend is declared broken (simulation output is noisy).
+    """
+    comparisons = zip(values, values[1:])
+    if decreasing:
+        return all(b <= a * (1 + slack) + 1e-12 for a, b in comparisons)
+    return all(b >= a * (1 - slack) - 1e-12 for a, b in comparisons)

@@ -1,0 +1,81 @@
+"""Paper-scale spot check: Table I parameters, no scaling at all.
+
+Runs the three schemes at the paper's exact defaults — 4096 nodes,
+maximum degree 4, TTL 3600 s, threshold 6, 180,000 simulated seconds —
+across a lambda sweep, single seed.  This is the full-fidelity
+counterpart of Figure 4 / Table III's lambda rows; expect tens of
+minutes of wall-clock (pure Python, like the original study's runs).
+
+Results from one complete run are recorded in EXPERIMENTS.md under
+"paper-scale spot check".
+"""
+
+from __future__ import annotations
+
+from repro.engine.config import SimulationConfig
+from repro.engine.runner import run_simulation
+from repro.experiments.format import monotone
+from repro.experiments.spec import ExperimentResult, ShapeCheck
+
+EXPERIMENT_ID = "paper-spotcheck"
+TITLE = "Full Table-I fidelity lambda sweep (single seed)"
+
+RATES = (0.1, 1.0, 10.0, 30.0)
+SCHEMES = ("pcx", "cup", "dup")
+
+
+def run(
+    scale: str = "paper",  # accepted for interface parity; always paper
+    replications: int = 1,
+    seed: int = 1,
+    rates=RATES,
+) -> ExperimentResult:
+    """Run the spot check (slow: full paper parameters)."""
+    del scale, replications  # one fidelity, one seed: that is the point
+    rows = []
+    results = {}
+    for rate in rates:
+        row = {"lambda": rate}
+        for scheme in SCHEMES:
+            config = SimulationConfig(
+                scheme=scheme,
+                query_rate=rate,
+                seed=seed,
+                keep_latency_samples=rate <= 10.0,  # memory at high rates
+            )
+            result = run_simulation(config)
+            results[(rate, scheme)] = result
+            row[f"latency_{scheme}"] = result.mean_latency
+            row[f"cost_{scheme}"] = result.cost_per_query
+        pcx_cost = results[(rate, "pcx")].cost_per_query
+        row["relcost_cup"] = results[(rate, "cup")].cost_per_query / pcx_cost
+        row["relcost_dup"] = results[(rate, "dup")].cost_per_query / pcx_cost
+        rows.append(row)
+
+    checks = []
+    for rate in rates:
+        dup = results[(rate, "dup")].mean_latency
+        cup = results[(rate, "cup")].mean_latency
+        pcx = results[(rate, "pcx")].mean_latency
+        checks.append(
+            ShapeCheck(
+                claim=f"latency order dup <= cup <= pcx at lambda={rate:g}",
+                passed=dup <= cup * 1.02 + 1e-9 and cup <= pcx * 1.02 + 1e-9,
+                detail=f"dup={dup:.4g} cup={cup:.4g} pcx={pcx:.4g}",
+            )
+        )
+    rel_dup = [row["relcost_dup"] for row in rows]
+    checks.append(
+        ShapeCheck(
+            claim="DUP relative cost decreases with lambda",
+            passed=monotone(rel_dup, decreasing=True, slack=0.05),
+            detail=f"{[round(v, 3) for v in rel_dup]}",
+        )
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        shape_checks=tuple(checks),
+        notes="n=4096, D=4, theta=0.95, c=6, TTL=3600s, T=180000s, seed=1",
+    )

@@ -1,0 +1,118 @@
+"""ASCII line plots for experiment series.
+
+The benchmark harness runs in terminals and CI logs, so the "figures" are
+rendered as text: :func:`ascii_plot` draws one or more named series on a
+shared canvas with axis annotations, log-x support (the paper's lambda
+sweeps span decades), and per-series glyphs.  Deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return max(0, min(steps - 1, round(position * (steps - 1))))
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named ``(x, y)`` series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to its points; each series gets a glyph.
+    width, height:
+        Canvas size in characters (excluding axes).
+    log_x:
+        Plot ``log10(x)`` on the horizontal axis (x must be positive).
+    x_label, y_label:
+        Axis annotations.
+    """
+    points: list[tuple[float, float, int]] = []
+    for index, (name, data) in enumerate(series.items()):
+        for x, y in data:
+            if log_x:
+                if x <= 0:
+                    raise ValueError(f"log_x needs positive x, got {x}")
+                x = math.log10(x)
+            points.append((x, y, index % len(_GLYPHS)))
+    if not points:
+        return "(no data)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_low == y_high:
+        y_low -= 0.5
+        y_high += 0.5
+
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        column = _scale(x, x_low, x_high, width)
+        row = height - 1 - _scale(y, y_low, y_high, height)
+        canvas[row][column] = _GLYPHS[glyph]
+
+    lines = []
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            margin = f"{y_high:>10.4g} |"
+        elif row_index == height - 1:
+            margin = f"{y_low:>10.4g} |"
+        else:
+            margin = " " * 10 + " |"
+        lines.append(margin + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    left = 10**x_low if log_x else x_low
+    right = 10**x_high if log_x else x_high
+    axis_note = f"{x_label} from {left:g} to {right:g}"
+    if log_x:
+        axis_note += " (log scale)"
+    lines.append(" " * 12 + axis_note)
+    legend = "  ".join(
+        f"{_GLYPHS[index % len(_GLYPHS)]}={name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(" " * 12 + f"[{y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def plot_experiment_series(
+    rows: Sequence[Mapping[str, object]],
+    x_column: str,
+    y_columns: Sequence[str],
+    log_x: bool = False,
+    width: int = 64,
+    height: int = 14,
+) -> str:
+    """Plot columns of experiment rows (the table -> figure shortcut)."""
+    series = {
+        column: [
+            (float(row[x_column]), float(row[column]))
+            for row in rows
+            if column in row and row[column] == row[column]
+        ]
+        for column in y_columns
+    }
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        log_x=log_x,
+        x_label=x_column,
+        y_label=", ".join(y_columns),
+    )

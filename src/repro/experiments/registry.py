@@ -1,0 +1,80 @@
+"""Registry mapping experiment ids to their ``run`` callables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ablations,
+    churn_study,
+    convergence,
+    figure4_arrival_rate,
+    figure5_size_cost,
+    figure6_degree,
+    figure7_zipf,
+    figure8_pareto,
+    paper_spotcheck,
+    table2_threshold,
+    table3_network_size,
+)
+
+_REGISTRY: dict[str, Callable] = {
+    "table2": table2_threshold.run,
+    "figure4": figure4_arrival_rate.run,
+    "table3": table3_network_size.run,
+    "figure5": figure5_size_cost.run,
+    "figure6": figure6_degree.run,
+    "figure7": figure7_zipf.run,
+    "figure8": figure8_pareto.run,
+    "churn": churn_study.run,
+    "convergence": convergence.run,
+    "paper-spotcheck": paper_spotcheck.run,
+    "ablations": ablations.run,
+    "ablation-cutoff": ablations.run_cut_off,
+    "ablation-piggyback": ablations.run_piggyback,
+    "ablation-interest": ablations.run_interest_policy,
+    "ablation-invalidate": ablations.run_invalidate,
+    "ablation-topology": ablations.run_topology,
+    "ablation-extremes": ablations.run_extremes,
+}
+
+
+def run_all(scale: str = "quick", replications: int = 1, seed: int = 1):
+    """Run every registered experiment; returns the flat result list.
+
+    At the default ``quick`` scale this regenerates every paper artifact
+    in a few minutes; ``bench`` takes tens of minutes; ``paper`` runs for
+    many hours (full Table I fidelity).
+    """
+    results = []
+    for name, runner in _REGISTRY.items():
+        if name in ("all", "paper-spotcheck") or name.startswith(
+            "ablation-"
+        ):
+            continue  # covered elsewhere / deliberately slow
+        outcome = runner(scale=scale, replications=replications, seed=seed)
+        if isinstance(outcome, list):
+            results.extend(outcome)
+        else:
+            results.append(outcome)
+    return results
+
+
+_REGISTRY["all"] = run_all
+
+
+def list_experiments() -> tuple[str, ...]:
+    """All registered experiment ids."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    """The ``run`` callable for ``experiment_id``."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {list_experiments()}"
+        ) from None

@@ -1,0 +1,59 @@
+"""Shared result containers for the paper experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.experiments.format import render_table
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim from the paper, checked against our data.
+
+    Absolute magnitudes are not expected to match the authors' testbed;
+    the *shapes* — orderings, monotonic trends, crossovers — are.
+    """
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        marker = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{marker}] {self.claim}{suffix}"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The reproduced data for one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    rows: Sequence[Mapping[str, object]]
+    shape_checks: Sequence[ShapeCheck] = field(default_factory=tuple)
+    notes: str = ""
+    plots: Sequence[str] = field(default_factory=tuple)
+
+    @property
+    def all_shapes_hold(self) -> bool:
+        """Whether every checked paper claim held in this run."""
+        return all(check.passed for check in self.shape_checks)
+
+    def render(self) -> str:
+        """The table/series as printable text (the benchmark output)."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(render_table(self.rows))
+        for plot in self.plots:
+            parts.append(plot)
+        if self.shape_checks:
+            parts.append("shape checks:")
+            parts.extend(f"  {check}" for check in self.shape_checks)
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,25 @@
+"""Index substrate: versioned (key, value) entries, TTL caches, authority.
+
+An *index* maps a data key to the node(s) hosting the data.  The node
+responsible for a key (its hash owner) is the key's **authority node**;
+it holds the authoritative copy, rotates versions, and — under the push
+schemes — disseminates new versions one minute before the previous ones
+expire (paper Section IV).  Cached copies follow the weak-consistency TTL
+model: a copy of version ``v`` is valid until ``issued_at(v) + TTL``
+regardless of where it is cached.
+"""
+
+from repro.index.authority import Authority
+from repro.index.cache import CacheStats, IndexCache
+from repro.index.entry import IndexVersion
+from repro.index.keepalive import KeepAliveTracker
+from repro.index.registry import HostRegistry
+
+__all__ = [
+    "Authority",
+    "CacheStats",
+    "HostRegistry",
+    "IndexCache",
+    "IndexVersion",
+    "KeepAliveTracker",
+]

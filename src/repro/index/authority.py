@@ -1,0 +1,131 @@
+"""The authority node's version life-cycle.
+
+The authority node owns a key's (key, value) mapping.  Its copy never
+expires; everyone else holds TTL-limited copies.  The paper's simulation
+rotates versions on a fixed schedule: "the root pushes the updated index to
+interested nodes exactly one minute before the previous index expires" —
+i.e. version ``v+1`` is issued at ``expires_at(v) - push_lead``.
+
+:class:`Authority` drives that schedule as a simulation process and invokes
+a callback on every new version; push schemes hook their propagation there,
+PCX simply refreshes the root's copy.  Out-of-schedule re-issues (e.g. a
+hosting node declared dead by the keep-alive tracker) are supported via
+:meth:`force_update`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+from repro.index.entry import IndexVersion
+from repro.sim.core import Environment
+
+VersionCallback = Callable[[IndexVersion], None]
+
+
+class Authority:
+    """Owns one key's index and rotates its versions.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    key:
+        The data key this authority is responsible for.
+    ttl:
+        Version lifetime (paper default: 3600 s).
+    push_lead:
+        How long before the current version's expiry the next version is
+        issued (paper default: 60 s).
+    on_new_version:
+        Called with every newly issued :class:`IndexVersion`, including
+        the initial one.
+    value:
+        The mapped value carried by every version (defaults to the key's
+        hosting-node id in examples; opaque here).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        key: int,
+        ttl: float = 3600.0,
+        push_lead: float = 60.0,
+        on_new_version: Optional[VersionCallback] = None,
+        value: object = None,
+    ):
+        if ttl <= 0:
+            raise ConfigError(f"ttl must be positive, got {ttl}")
+        if not 0 <= push_lead < ttl:
+            raise ConfigError(
+                f"push_lead must lie in [0, ttl); got {push_lead} vs {ttl}"
+            )
+        self._env = env
+        self._key = key
+        self._ttl = float(ttl)
+        self._push_lead = float(push_lead)
+        self._callback = on_new_version
+        self._value = value
+        self._current: Optional[IndexVersion] = None
+        self._next_version = 0
+        self._process = env.process(self._refresh_loop(), name=f"authority-{key}")
+
+    # -- public API ----------------------------------------------------------
+    @property
+    def key(self) -> int:
+        """The key this authority owns."""
+        return self._key
+
+    @property
+    def current(self) -> IndexVersion:
+        """The authoritative (never expiring at the root) current version."""
+        if self._current is None:
+            raise RuntimeError("authority not started yet")
+        return self._current
+
+    @property
+    def refresh_interval(self) -> float:
+        """Time between consecutive version issues (= ttl - push_lead)."""
+        return self._ttl - self._push_lead
+
+    def force_update(self, value: object = None) -> IndexVersion:
+        """Issue a new version immediately (out-of-schedule update).
+
+        Used when the hosting node changes or is declared dead; the
+        regular schedule continues relative to the new version.
+        """
+        if value is not None:
+            self._value = value
+        version = self._issue()
+        self._process.interrupt("reschedule")
+        return version
+
+    # -- internals ------------------------------------------------------------
+    def _issue(self) -> IndexVersion:
+        version = IndexVersion(
+            key=self._key,
+            version=self._next_version,
+            issued_at=self._env.now,
+            ttl=self._ttl,
+            value=self._value,
+        )
+        self._next_version += 1
+        self._current = version
+        if self._callback is not None:
+            self._callback(version)
+        return version
+
+    def _refresh_loop(self):
+        from repro.sim.core import Interrupt
+
+        self._issue()
+        while True:
+            wait = self.refresh_interval
+            try:
+                yield self._env.timeout(wait)
+            except Interrupt:
+                # force_update already issued a fresh version; restart the
+                # countdown from it.
+                continue
+            self._issue()

@@ -1,0 +1,136 @@
+"""Per-node TTL index cache with per-entry timers.
+
+The paper's weak-consistency model (Section I/II): "There is a
+Time-To-Live (TTL) timer associated with the index.  The index will be
+removed from the cache after its TTL expires."  The timer belongs to the
+*cache entry* and starts when the copy is stored — each node's copy
+expires ``ttl`` after that node obtained it, regardless of when the
+authority issued the version.  This realizes both PCX drawbacks the paper
+lists: a copy is unusable after its timer runs out even if the index never
+changed, and a copy may serve *stale* data when the authority re-issued
+before the timer expired.
+
+Pushes refresh the timer (the push schemes deliver a new version one
+minute before the previous one's timer would run out, so subscribers never
+observe a miss).  Stores keep the newest version: an older version never
+overwrites a newer one (pushes and replies can race over paths of
+different latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CacheError
+from repro.index.entry import IndexVersion
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a cache has been used."""
+
+    lookups: int = 0
+    hits: int = 0
+    stores: int = 0
+    refreshes: int = 0
+    rejected_stale: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (``nan`` before any lookup)."""
+        if self.lookups == 0:
+            return float("nan")
+        return self.hits / self.lookups
+
+
+@dataclass
+class CachedCopy:
+    """One cached copy: a version plus this cache's own TTL timer."""
+
+    version: IndexVersion
+    stored_at: float
+
+    @property
+    def expires_at(self) -> float:
+        """When this copy's timer runs out (store time + version TTL)."""
+        return self.stored_at + self.version.ttl
+
+    def is_valid(self, now: float) -> bool:
+        """Whether the copy is still usable at ``now``."""
+        return now < self.expires_at
+
+
+class IndexCache:
+    """A node's local cache of index copies, keyed by data key."""
+
+    __slots__ = ("_entries", "stats")
+
+    def __init__(self) -> None:
+        self._entries: dict[int, CachedCopy] = {}
+        self.stats = CacheStats()
+
+    def get(self, key: int, now: float) -> Optional[IndexVersion]:
+        """Return the cached valid version of ``key`` at ``now``, if any.
+
+        Expired copies are evicted as a side effect.
+        """
+        self.stats.lookups += 1
+        copy = self._entries.get(key)
+        if copy is None:
+            return None
+        if not copy.is_valid(now):
+            del self._entries[key]
+            self.stats.evictions += 1
+            return None
+        self.stats.hits += 1
+        return copy.version
+
+    def peek(self, key: int) -> Optional[CachedCopy]:
+        """Return the stored copy without validity check or stats."""
+        return self._entries.get(key)
+
+    def put(self, version: IndexVersion, now: float) -> bool:
+        """Store ``version``, starting (or restarting) this cache's timer.
+
+        Returns ``True`` when the cache changed.  An older version never
+        replaces a newer one; re-storing the already-cached version
+        refreshes its timer (that is how pushes keep subscribers warm).
+        """
+        if not isinstance(version, IndexVersion):
+            raise CacheError(f"not an IndexVersion: {version!r}")
+        current = self._entries.get(version.key)
+        if current is not None and current.is_valid(now):
+            if version.version < current.version.version:
+                self.stats.rejected_stale += 1
+                return False
+            if version.version == current.version.version:
+                current.stored_at = now
+                self.stats.refreshes += 1
+                return True
+        self._entries[version.key] = CachedCopy(version, now)
+        self.stats.stores += 1
+        return True
+
+    def invalidate(self, key: int) -> bool:
+        """Drop any cached copy of ``key``; returns whether one existed."""
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.evictions += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop everything (used when a node re-joins after failure)."""
+        self.stats.evictions += len(self._entries)
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return f"IndexCache(entries={len(self._entries)}, {self.stats})"

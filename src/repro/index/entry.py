@@ -1,0 +1,69 @@
+"""Versioned index entries with absolute expiry times.
+
+The paper's weak-consistency model attaches the TTL to the index *version*,
+not to the cache fill: a copy cached half-way through a version's life is
+only valid for the remaining half.  This realizes both PCX drawbacks the
+paper lists (a copy is unusable after TTL expiry even if unchanged, and a
+copy may be stale before expiry if the authority updated early).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class IndexVersion:
+    """One immutable version of an index entry.
+
+    Attributes
+    ----------
+    key:
+        The data key this index maps.
+    version:
+        Monotonically increasing version number (per key).
+    issued_at:
+        Simulation time the authority issued this version.
+    ttl:
+        Lifetime; every copy of this version expires at
+        ``issued_at + ttl``.
+    value:
+        The mapped value — in the paper, the address of the node hosting
+        the data.
+    """
+
+    key: int
+    version: int
+    issued_at: float
+    ttl: float
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {self.ttl}")
+        if self.version < 0:
+            raise ValueError(f"version must be >= 0, got {self.version}")
+
+    @property
+    def expires_at(self) -> float:
+        """Absolute expiry time of every copy of this version."""
+        return self.issued_at + self.ttl
+
+    def is_valid(self, now: float) -> bool:
+        """Whether a copy of this version is still usable at time ``now``."""
+        return now < self.expires_at
+
+    def remaining(self, now: float) -> float:
+        """Remaining lifetime at ``now`` (clamped at 0)."""
+        return max(0.0, self.expires_at - now)
+
+    def newer_than(self, other: "IndexVersion | None") -> bool:
+        """Whether this version supersedes ``other`` (``None`` counts)."""
+        if other is None:
+            return True
+        if other.key != self.key:
+            raise ValueError(
+                f"cannot compare versions of keys {self.key} and {other.key}"
+            )
+        return self.version > other.version

@@ -1,0 +1,120 @@
+"""The authority's host registry: what the index actually maps to.
+
+Paper Section II-A: "The value in the pair indicates the nodes that host
+the data corresponding to the key.  ...  Data is inserted or removed from
+nodes in the network from time to time ...  When such a change happens,
+the node that hosts the data should inform the authority node.  It also
+needs to send keep-alive messages periodically to the authority node to
+deal with node failures.  The authority node needs to update the index
+whenever it receives update messages or considers the node hosting the
+data is dead."
+
+:class:`HostRegistry` implements that loop: explicit register/unregister
+messages and keep-alive beacons maintain the live host set, and every
+change to the set re-issues the index through
+:meth:`repro.index.authority.Authority.force_update` — which the push
+schemes then disseminate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.index.authority import Authority
+from repro.index.keepalive import KeepAliveTracker
+from repro.sim.core import Environment
+
+NodeId = int
+
+
+class HostRegistry:
+    """Tracks the hosting nodes behind one key's index.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    authority:
+        The key's authority; re-issues the index on every host change.
+    keepalive_timeout:
+        A host missing beacons for this long is declared dead and
+        removed (triggering a re-issue).
+    check_interval:
+        Keep-alive sweep cadence (defaults to the timeout).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        authority: Authority,
+        keepalive_timeout: float = 600.0,
+        check_interval: Optional[float] = None,
+    ):
+        self._env = env
+        self._authority = authority
+        self._hosts: set[NodeId] = set()
+        self._updates = 0
+        self._tracker = KeepAliveTracker(
+            env,
+            timeout=keepalive_timeout,
+            check_interval=check_interval,
+            on_host_dead=self._host_died,
+        )
+
+    # -- host-facing API -----------------------------------------------------
+    def register_host(self, host: NodeId) -> bool:
+        """A node announces it now hosts the data; returns whether new.
+
+        Registration counts as a beacon.
+        """
+        self._tracker.beacon(host)
+        if host in self._hosts:
+            return False
+        self._hosts.add(host)
+        self._reissue()
+        return True
+
+    def unregister_host(self, host: NodeId) -> bool:
+        """A node announces it dropped the data; returns whether known."""
+        self._tracker.forget(host)
+        if host not in self._hosts:
+            return False
+        self._hosts.discard(host)
+        self._reissue()
+        return True
+
+    def beacon(self, host: NodeId) -> None:
+        """Periodic keep-alive from a hosting node.
+
+        A beacon from an unknown host implicitly (re-)registers it — the
+        common recovery after an authority change lost the registry.
+        """
+        if host not in self._hosts:
+            self.register_host(host)
+        else:
+            self._tracker.beacon(host)
+
+    # -- state -----------------------------------------------------------------
+    @property
+    def hosts(self) -> frozenset[NodeId]:
+        """The currently registered live hosts."""
+        return frozenset(self._hosts)
+
+    @property
+    def update_count(self) -> int:
+        """How many times host churn re-issued the index."""
+        return self._updates
+
+    def current_value(self) -> tuple[NodeId, ...]:
+        """The value the index carries: the sorted live host set."""
+        return tuple(sorted(self._hosts))
+
+    # -- internals ----------------------------------------------------------
+    def _host_died(self, host: NodeId) -> None:
+        if host in self._hosts:
+            self._hosts.discard(host)
+            self._reissue()
+
+    def _reissue(self) -> None:
+        self._updates += 1
+        self._authority.force_update(value=self.current_value())

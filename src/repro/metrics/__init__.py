@@ -1,0 +1,16 @@
+"""Performance metrics: hop cost ledger and query-latency recorder.
+
+The paper reports two metrics (Section IV):
+
+- **average query latency** — hops a request travels before reaching a
+  valid index (0 for a local cache hit), and
+- **average query cost** — total hops of all query-related messages
+  (requests, replies, updates, interest/tree maintenance) divided by the
+  number of queries.
+"""
+
+from repro.metrics.counters import CostLedger
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.report import MetricsReport
+
+__all__ = ["CostLedger", "LatencyRecorder", "MetricsReport"]

@@ -1,0 +1,113 @@
+"""Query latency recording (in hops), gated on the warm-up period."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.stats.confidence import ConfidenceInterval, batch_means_interval
+from repro.stats.running import RunningStat
+
+
+class LatencyRecorder:
+    """Accumulates per-query request latencies measured in hops.
+
+    A query served from the local cache has latency 0; otherwise latency is
+    the number of hops the request travelled before reaching the first node
+    holding a valid index (replies do not add latency — they add cost).
+
+    Parameters
+    ----------
+    clock:
+        Returns current simulation time; used to apply the warm-up gate at
+        *query issue time*.
+    warmup:
+        Queries issued before this time are ignored.
+    keep_samples:
+        Whether to retain individual latencies (needed for batch-means
+        confidence intervals; costs one float per query).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        warmup: float = 0.0,
+        keep_samples: bool = True,
+    ):
+        self._clock = clock
+        self._warmup = float(warmup)
+        self._keep_samples = keep_samples
+        self._stat = RunningStat()
+        self._samples: list[float] = []
+        self._hits = 0
+        self._warmup_queries = 0
+
+    def record(self, latency_hops: float, issued_at: float) -> None:
+        """Record one completed query.
+
+        Parameters
+        ----------
+        latency_hops:
+            Request hops until a valid index was reached.
+        issued_at:
+            Simulation time the query was issued (for the warm-up gate).
+        """
+        if latency_hops < 0:
+            raise ValueError(f"latency must be non-negative: {latency_hops}")
+        if issued_at < self._warmup:
+            self._warmup_queries += 1
+            return
+        self._stat.add(latency_hops)
+        if latency_hops == 0:
+            self._hits += 1
+        if self._keep_samples:
+            self._samples.append(latency_hops)
+
+    @property
+    def count(self) -> int:
+        """Completed post-warm-up queries."""
+        return self._stat.count
+
+    @property
+    def warmup_queries(self) -> int:
+        """Queries discarded by the warm-up gate."""
+        return self._warmup_queries
+
+    @property
+    def mean(self) -> float:
+        """Average query latency in hops."""
+        return self._stat.mean
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries served from the local cache."""
+        if self._stat.count == 0:
+            return float("nan")
+        return self._hits / self._stat.count
+
+    @property
+    def maximum(self) -> float:
+        """Worst observed latency."""
+        return self._stat.maximum
+
+    def confidence_interval(
+        self, confidence: float = 0.95, batches: int = 20
+    ) -> ConfidenceInterval:
+        """Batch-means CI over the recorded latencies.
+
+        Requires ``keep_samples=True``; the paper runs each simulation
+        until a 95 % CI of the latency is obtained.
+        """
+        if not self._keep_samples:
+            raise RuntimeError("samples were not kept; CI unavailable")
+        return batch_means_interval(self._samples, batches, confidence)
+
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """The raw recorded latencies (post-warm-up only)."""
+        return tuple(self._samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyRecorder(count={self.count}, mean={self.mean:.4g}, "
+            f"hit_rate={self.hit_rate:.3g})"
+        )

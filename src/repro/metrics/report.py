@@ -1,0 +1,62 @@
+"""Human-readable rendering of simulation metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.stats.confidence import ConfidenceInterval
+
+
+@dataclass(frozen=True)
+class MetricsReport:
+    """A snapshot of the two paper metrics plus supporting detail.
+
+    Attributes
+    ----------
+    scheme:
+        Name of the scheme that produced the numbers.
+    queries:
+        Number of post-warm-up queries.
+    mean_latency:
+        Average query latency in hops.
+    latency_ci:
+        95 % confidence interval of the latency.
+    cost_per_query:
+        Average query cost in hops per query.
+    hit_rate:
+        Fraction of queries answered from the local cache.
+    hop_breakdown:
+        Post-warm-up hops by message category.
+    """
+
+    scheme: str
+    queries: int
+    mean_latency: float
+    latency_ci: ConfidenceInterval
+    cost_per_query: float
+    hit_rate: float
+    hop_breakdown: Mapping[str, int]
+
+    def to_row(self) -> dict[str, object]:
+        """Flatten into a dict suitable for table printing."""
+        return {
+            "scheme": self.scheme,
+            "queries": self.queries,
+            "latency": round(self.mean_latency, 4),
+            "latency_ci": str(self.latency_ci),
+            "cost": round(self.cost_per_query, 4),
+            "hit_rate": round(self.hit_rate, 4),
+            **{f"hops_{k}": v for k, v in self.hop_breakdown.items()},
+        }
+
+    def __str__(self) -> str:
+        breakdown = ", ".join(
+            f"{name}={hops}" for name, hops in self.hop_breakdown.items() if hops
+        )
+        return (
+            f"[{self.scheme}] queries={self.queries} "
+            f"latency={self.mean_latency:.4g} ({self.latency_ci}) "
+            f"cost={self.cost_per_query:.4g} hit_rate={self.hit_rate:.3g} "
+            f"({breakdown})"
+        )

@@ -1,0 +1,41 @@
+"""Messaging substrate: typed messages, per-hop transport, cost accounting.
+
+The paper's cost metric is "the total number of hops that the query related
+messages such as requests, replies and updates traveled in the network
+divided by the total number of queries", *including* the interest /
+tree-maintenance traffic of CUP and DUP.  Every hop therefore flows through
+:class:`~repro.net.transport.Transport`, which charges it to a
+:class:`~repro.net.message.Category` in the shared cost ledger.
+"""
+
+from repro.net.message import (
+    Category,
+    ControlMessage,
+    CupRegister,
+    CupUnregister,
+    KeepAliveMessage,
+    Message,
+    PushMessage,
+    QueryMessage,
+    ReplyMessage,
+    Subscribe,
+    Substitute,
+    Unsubscribe,
+)
+from repro.net.transport import Transport
+
+__all__ = [
+    "Category",
+    "ControlMessage",
+    "CupRegister",
+    "CupUnregister",
+    "KeepAliveMessage",
+    "Message",
+    "PushMessage",
+    "QueryMessage",
+    "ReplyMessage",
+    "Subscribe",
+    "Substitute",
+    "Transport",
+    "Unsubscribe",
+]

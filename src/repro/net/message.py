@@ -1,0 +1,212 @@
+"""Message and control-payload types exchanged between overlay nodes.
+
+Two layers are distinguished:
+
+- **Messages** travel one overlay hop through the transport and are charged
+  to a :class:`Category` (query / reply / push / control / keep-alive).
+- **Control payloads** (:class:`Subscribe`, :class:`Substitute`,
+  :class:`CupRegister`, ...) describe interest/tree maintenance.  They can
+  either ride inside a :class:`QueryMessage` (the paper's "interest bit"
+  piggybacking — zero extra hops) or travel standalone wrapped in a
+  :class:`ControlMessage` (one charged hop per tree edge).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+NodeId = int
+
+_sequence = itertools.count()
+
+
+class Category(enum.Enum):
+    """Cost-accounting category for one message hop."""
+
+    QUERY = "query"
+    REPLY = "reply"
+    PUSH = "push"
+    CONTROL = "control"
+    KEEPALIVE = "keepalive"
+
+
+# ---------------------------------------------------------------------------
+# Control payloads (DUP: Figure 3 of the paper; CUP: register/unregister)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Subscribe:
+    """``subscribe(N_i)``: node ``subject`` wants future index updates."""
+
+    subject: NodeId
+
+
+@dataclass(frozen=True)
+class Unsubscribe:
+    """``unsubscribe(N_i)``: node ``subject`` no longer wants updates."""
+
+    subject: NodeId
+
+
+@dataclass(frozen=True)
+class Substitute:
+    """``substitute(N_i, N_j)``: replace ``old`` with ``new`` upstream."""
+
+    old: NodeId
+    new: NodeId
+
+
+@dataclass(frozen=True)
+class RefreshSubscribe:
+    """Failure repair: re-establish ``subject``'s virtual path.
+
+    Unlike a plain :class:`Subscribe`, a refresh keeps travelling upward
+    through nodes that already list ``subject`` (their state may be a relic
+    of a path through a failed node) and only converts to normal subscribe
+    processing at the first node that does not (paper Section III-C,
+    failure cases 3 and 4).
+    """
+
+    subject: NodeId
+
+
+@dataclass(frozen=True)
+class CupRegister:
+    """CUP: ``child`` registers with the receiving node for pushes."""
+
+    child: NodeId
+
+
+@dataclass(frozen=True)
+class CupUnregister:
+    """CUP: ``child`` cancels its registration with the receiving node."""
+
+    child: NodeId
+
+
+ControlPayload = object  # any of the dataclasses above
+
+
+# ---------------------------------------------------------------------------
+# Wire messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Message:
+    """Base class for everything the transport can carry."""
+
+    key: int
+
+    category: Category = field(default=Category.CONTROL, init=False)
+
+    def __post_init__(self) -> None:
+        self.sequence = next(_sequence)
+
+
+@dataclass
+class QueryMessage(Message):
+    """An index request travelling up the search tree.
+
+    Attributes
+    ----------
+    origin:
+        The node that issued the query.
+    path:
+        Nodes visited so far, origin first; the reply retraces it.
+    control:
+        Piggybacked control payloads (the paper's interest bit) processed
+        at every hop free of charge.
+    """
+
+    origin: NodeId
+    issued_at: float = 0.0
+    path: list[NodeId] = field(default_factory=list)
+    control: list[ControlPayload] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.category = Category.QUERY
+        if not self.path:
+            self.path = [self.origin]
+
+    @property
+    def hops(self) -> int:
+        """Hops the request has travelled so far."""
+        return len(self.path) - 1
+
+
+@dataclass
+class ReplyMessage(Message):
+    """An index reply retracing the query path back to the origin.
+
+    ``path`` is the query's recorded path (origin first); ``position``
+    indexes the node the reply currently sits at.
+    """
+
+    version: "object"  # repro.index.entry.IndexVersion (avoid import cycle)
+    path: list[NodeId]
+    position: int
+    request_hops: int
+    issued_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.category = Category.REPLY
+
+    @property
+    def destination(self) -> NodeId:
+        """Final destination: the query's origin."""
+        return self.path[0]
+
+    def next_hop(self) -> Optional[NodeId]:
+        """The node one step closer to the origin, or ``None`` at it."""
+        if self.position == 0:
+            return None
+        return self.path[self.position - 1]
+
+
+@dataclass
+class PushMessage(Message):
+    """A proactively pushed index update (CUP hop-by-hop, DUP direct)."""
+
+    version: "object"
+    sender: NodeId
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.category = Category.PUSH
+
+
+@dataclass
+class ControlMessage(Message):
+    """Standalone control payloads travelling one hop up the tree.
+
+    Payloads generated together are bundled so they are processed in
+    order at every hop (separate messages could overtake each other under
+    random per-hop latencies and corrupt the subscriber lists).  The hop
+    is charged once per payload — bundling is an ordering device, not a
+    cost discount.
+    """
+
+    payloads: list[ControlPayload]
+    sender: NodeId
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.category = Category.CONTROL
+
+
+@dataclass
+class KeepAliveMessage(Message):
+    """Host liveness beacon sent to the authority node."""
+
+    sender: NodeId
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.category = Category.KEEPALIVE

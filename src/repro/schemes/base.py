@@ -1,0 +1,273 @@
+"""Scheme interface and the shared path-caching query engine.
+
+All three paper schemes (PCX, CUP, DUP) share the same query path: a
+request climbs the index search tree until it meets a node with a valid
+index copy (or the authority), and the reply retraces the request path,
+being cached at every hop.  :class:`PathCachingScheme` implements that
+engine once; the push schemes override the *hooks* to add interest
+tracking, piggybacked control payloads, and update propagation.
+
+The scheme talks to the simulation through the narrow facade the engine
+exposes (see :class:`repro.engine.simulation.Simulation`): clock, tree,
+transport, per-node caches, the authority, and the metric recorders.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from repro.index.entry import IndexVersion
+from repro.net.message import (
+    ControlMessage,
+    Message,
+    PushMessage,
+    QueryMessage,
+    ReplyMessage,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.simulation import Simulation
+
+NodeId = int
+
+
+class Scheme(abc.ABC):
+    """Behavioral interface every scheme implements."""
+
+    #: Registry name, e.g. ``"dup"``.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.sim: "Simulation | None" = None
+
+    def bind(self, sim: "Simulation") -> None:
+        """Attach the scheme to a simulation (called once by the engine)."""
+        self.sim = sim
+
+    # -- events delivered by the engine -----------------------------------
+    @abc.abstractmethod
+    def on_local_query(self, node: NodeId) -> None:
+        """A query for the index was generated at ``node``."""
+
+    @abc.abstractmethod
+    def on_message(self, node: NodeId, message: Message) -> None:
+        """``message`` was delivered to ``node`` by the transport."""
+
+    def on_new_version(self, version: IndexVersion) -> None:
+        """The authority issued a new index version (push hooks go here)."""
+
+    # -- churn events (default: topology-only handling) ----------------------
+    def on_node_joined_edge(
+        self, new: NodeId, upper: NodeId, lower: NodeId
+    ) -> None:
+        """A node joined on an existing tree edge."""
+        self.sim.tree.insert_on_edge(upper, lower, new)
+
+    def on_node_joined_leaf(self, parent: NodeId, new: NodeId) -> None:
+        """A node joined as a fresh leaf."""
+        self.sim.tree.add_leaf(parent, new)
+
+    def on_node_left(self, node: NodeId) -> None:
+        """A node departed gracefully."""
+        self.sim.tree.splice_out(node)
+        self.sim.forget_node(node)
+
+    def on_node_failed(self, node: NodeId) -> None:
+        """A node crashed."""
+        self.sim.tree.splice_out(node)
+        self.sim.forget_node(node)
+
+
+class PathCachingScheme(Scheme):
+    """Shared query/reply engine with path caching (the PCX substrate).
+
+    Subclass hooks:
+
+    - :meth:`_on_query_arrival` — called once per query arrival at a node
+      (locally generated or forwarded); returns control payloads to
+      propagate upstream from that node.
+    - :meth:`_process_control` — transforms piggybacked/explicit control
+      payloads arriving at a node; returns what continues upstream.
+    - :meth:`_serve_extra` — called when a query is served at a node
+      (push schemes do nothing; kept for symmetry/extension).
+    """
+
+    name = "pcx-base"
+
+    #: Whether control payloads outlive their carrier packet: hard-state
+    #: protocols (DUP) continue leftovers as explicit charged messages
+    #: when the query is served mid-path or was a local hit; soft-state
+    #: protocols (CUP) let them die with the packet.
+    control_survives_serving = True
+
+    # ------------------------------------------------------------------ hooks
+    def _on_query_arrival(
+        self, node: NodeId, packet: Optional[QueryMessage]
+    ) -> list[object]:
+        """Interest tracking hook; returns payloads to send upstream."""
+        return []
+
+    def _process_control(
+        self, node: NodeId, payloads: list[object], explicit: bool
+    ) -> list[object]:
+        """Process control payloads at ``node``; returns continuations."""
+        return []
+
+    def _lookup(self, node: NodeId):
+        """Where this scheme looks for a valid index copy at ``node``."""
+        return self.sim.lookup(node)
+
+    def _on_local_miss(self, node: NodeId) -> list[object]:
+        """Hook: a locally issued query missed and a request packet is
+        about to leave ``node``; returns payloads to ride it."""
+        return []
+
+    # ---------------------------------------------------------------- queries
+    def on_local_query(self, node: NodeId) -> None:
+        sim = self.sim
+        issued_at = sim.env.now
+        payloads = self._on_query_arrival(node, packet=None)
+        version = self._lookup(node)
+        if version is not None:
+            sim.record_latency(0, issued_at)
+            # A cache hit leaves no packet to piggyback on: hard-state
+            # control payloads travel explicitly, soft-state ones lapse.
+            if self.control_survives_serving:
+                self._send_control(node, payloads)
+            return
+        message = QueryMessage(
+            key=sim.key, origin=node, issued_at=issued_at
+        )
+        payloads.extend(self._on_local_miss(node))
+        if sim.config.piggyback:
+            message.control.extend(payloads)
+        else:
+            self._send_control(node, payloads)
+        parent = sim.parent(node)
+        if parent is None:  # pragma: no cover - root always has the index
+            sim.record_latency(0, issued_at)
+            return
+        sim.transport.send(parent, message)
+
+    def _handle_query(self, node: NodeId, message: QueryMessage) -> None:
+        sim = self.sim
+        own_payloads = self._on_query_arrival(node, packet=message)
+        # Piggybacked control bits from downstream are processed at every
+        # hop, free of charge; the node's own payloads are destined for
+        # the parent and therefore appended only afterwards.
+        if message.control:
+            message.control = self._process_control(
+                node, message.control, explicit=False
+            )
+        if sim.config.piggyback:
+            message.control.extend(own_payloads)
+        else:
+            self._send_control(node, own_payloads)
+        message.path.append(node)
+        version = self._lookup(node)
+        if version is not None:
+            # Served here: hard-state leftovers continue explicitly,
+            # soft-state ones die with the packet.
+            leftovers, message.control = message.control, []
+            if self.control_survives_serving:
+                self._send_control(node, leftovers)
+            self._serve(node, message, version)
+            return
+        parent = sim.parent(node)
+        if parent is None:
+            # The root must hold the authoritative copy; reaching here
+            # means the authority was not started - treat as served with
+            # the authority's current version.
+            leftovers, message.control = message.control, []
+            if self.control_survives_serving:
+                self._send_control(node, leftovers)
+            self._serve(node, message, sim.authority.current)
+            return
+        sim.transport.send(parent, message)
+
+    def _serve(
+        self, node: NodeId, message: QueryMessage, version: IndexVersion
+    ) -> None:
+        sim = self.sim
+        position = len(message.path) - 1
+        reply = ReplyMessage(
+            key=sim.key,
+            version=version,
+            path=message.path,
+            position=position,
+            request_hops=message.hops,
+            issued_at=message.issued_at,
+        )
+        self._forward_reply(reply)
+
+    def _handle_reply(self, node: NodeId, reply: ReplyMessage) -> None:
+        sim = self.sim
+        self._store_reply(node, reply.version)
+        if reply.position == 0:
+            sim.record_latency(reply.request_hops, reply.issued_at)
+            return
+        self._forward_reply(reply)
+
+    def _store_reply(self, node: NodeId, version: IndexVersion) -> None:
+        """Path caching: cache the reply at every hop (PCX behaviour)."""
+        self.sim.cache(node).put(version, self.sim.env.now)
+
+    def _forward_reply(self, reply: ReplyMessage) -> None:
+        sim = self.sim
+        reply.position -= 1
+        next_node = reply.path[reply.position]
+        if not sim.alive(next_node):
+            # The path broke under churn: skip the missing hop(s).
+            while reply.position > 0 and not sim.alive(
+                reply.path[reply.position]
+            ):
+                reply.position -= 1
+            next_node = reply.path[reply.position]
+            if not sim.alive(next_node):
+                sim.transport.drop()
+                sim.note_incomplete_query()
+                return
+        sim.transport.send(next_node, reply)
+
+    # ---------------------------------------------------------------- control
+    def _send_control(self, node: NodeId, payloads: list[object]) -> None:
+        """Send payloads explicitly to the parent, one charged hop each.
+
+        Payloads are bundled into a single message so that their relative
+        order is preserved at every hop; the hop is still charged once per
+        payload.
+        """
+        if not payloads:
+            return
+        sim = self.sim
+        parent = sim.parent(node)
+        if parent is None:
+            return
+        message = ControlMessage(
+            key=sim.key, payloads=list(payloads), sender=node
+        )
+        sim.transport.send(parent, message, hops=len(payloads))
+
+    def _handle_control(self, node: NodeId, message: ControlMessage) -> None:
+        continuations = self._process_control(
+            node, message.payloads, explicit=True
+        )
+        self._send_control(node, continuations)
+
+    # -------------------------------------------------------------- dispatch
+    def on_message(self, node: NodeId, message: Message) -> None:
+        if isinstance(message, QueryMessage):
+            self._handle_query(node, message)
+        elif isinstance(message, ReplyMessage):
+            self._handle_reply(node, message)
+        elif isinstance(message, ControlMessage):
+            self._handle_control(node, message)
+        elif isinstance(message, PushMessage):
+            self._handle_push(node, message)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unhandled message {message!r}")
+
+    def _handle_push(self, node: NodeId, message: PushMessage) -> None:
+        """Push handling; passive schemes receive none."""
+        raise TypeError(f"{self.name} received unexpected push {message!r}")

@@ -1,0 +1,149 @@
+"""CUP: Controlled Update Propagation (Roussopoulos & Baker, USENIX '03).
+
+The paper's comparison baseline.  Each node records which of its
+search-tree children are interested in the index and pushes new versions
+hop-by-hop down those branches ("each node needs to record the interests
+of its neighboring nodes in the index search tree and push updated index
+to them when necessary").
+
+The crucial property, and the one the paper's Section II-B analysis rests
+on, is that CUP's interest registrations are **soft state carried by the
+query traffic**: a node (re-)registers with its parent when its queries
+pass by, and a registration silently decays one TTL after its last
+refresh.  A node that is kept warm by pushes stops emitting queries, so
+the registrations above it decay and the push chain is *cut off* — the
+node only notices at its next miss, which re-warms the chain for another
+TTL.  Steady state for an interested node is therefore one miss roughly
+every other TTL instead of every TTL: the ~50 % improvement ceiling the
+paper derives ("the cost of CUP can at most be reduced to about 50 % of
+that of PCX"), and the reason DUP — whose subscriptions are hard state
+maintained by an explicit protocol — beats CUP by an order of magnitude
+on latency in many configurations.
+
+Registrations ride the ordinary query packets (an interest bit), so CUP's
+control-message cost is zero here — a deliberately charitable accounting
+for the baseline.  The idealized hard-state variant is available as
+``cup-ideal`` for the ablation study.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.interest import InterestPolicy
+from repro.net.message import CupRegister, PushMessage, QueryMessage
+from repro.schemes.base import PathCachingScheme
+
+NodeId = int
+
+
+class CupScheme(PathCachingScheme):
+    """Hop-by-hop push along soft-state interest registrations."""
+
+    name = "cup"
+
+    #: Registrations are soft state riding query packets; they lapse when
+    #: the packet is served rather than continuing as explicit messages.
+    control_survives_serving = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        # node -> {child -> time of the registration's last refresh}
+        self._registered: dict[NodeId, dict[NodeId, float]] = {}
+        self._trackers: dict[NodeId, InterestPolicy] = {}
+
+    # -- interest and registration state ------------------------------------
+    def tracker(self, node: NodeId) -> InterestPolicy:
+        """The node's own interest policy instance (lazily created)."""
+        tracker = self._trackers.get(node)
+        if tracker is None:
+            tracker = self.sim.make_interest_policy()
+            self._trackers[node] = tracker
+        return tracker
+
+    def is_interested(self, node: NodeId) -> bool:
+        """Whether ``node`` itself currently satisfies the interest policy."""
+        return self.tracker(node).is_interested(self.sim.env.now)
+
+    def live_registrations(self, node: NodeId) -> list[NodeId]:
+        """Children whose registration with ``node`` has not decayed."""
+        table = self._registered.get(node)
+        if not table:
+            return []
+        now = self.sim.env.now
+        ttl = self.sim.config.ttl
+        stale = [c for c, at in table.items() if now - at >= ttl]
+        for child in stale:
+            del table[child]
+        return list(table)
+
+    def wants_updates(self, node: NodeId) -> bool:
+        """Interested itself, or forwarding for live registered children."""
+        if self.live_registrations(node):
+            return True
+        return self.is_interested(node)
+
+    # -- hooks into the shared query engine -------------------------------------
+    def _on_query_arrival(
+        self, node: NodeId, packet: Optional[QueryMessage]
+    ) -> list[object]:
+        self.tracker(node).record(self.sim.env.now)
+        if self.sim.is_root(node):
+            return []
+        if self.wants_updates(node):
+            # Soft state: the interest bit rides this very packet (or the
+            # explicit fallback when the query was a local hit) and
+            # refreshes the parent's registration.
+            return [CupRegister(node)]
+        return []
+
+    def _process_control(
+        self, node: NodeId, payloads: list[object], explicit: bool
+    ) -> list[object]:
+        refreshed = False
+        for payload in payloads:
+            if isinstance(payload, CupRegister):
+                table = self._registered.setdefault(node, {})
+                table[payload.child] = self.sim.env.now
+                refreshed = True
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"CUP got foreign payload {payload!r}")
+        if refreshed and not self.sim.is_root(node) and self.wants_updates(node):
+            return [CupRegister(node)]
+        return []
+
+    # -- pushes ---------------------------------------------------------------
+    def on_new_version(self, version) -> None:
+        self._push_registered(self.sim.tree.root, version)
+
+    def _handle_push(self, node: NodeId, message: PushMessage) -> None:
+        sim = self.sim
+        sim.cache(node).put(message.version, sim.env.now)
+        self._push_registered(node, message.version)
+
+    def _push_registered(self, node: NodeId, version) -> None:
+        sim = self.sim
+        for child in self.live_registrations(node):
+            if not sim.alive(child):
+                self._registered.get(node, {}).pop(child, None)
+                continue
+            sim.transport.send(
+                child,
+                PushMessage(key=sim.key, version=version, sender=node),
+            )
+
+    # -- churn ----------------------------------------------------------------
+    def on_node_left(self, node: NodeId) -> None:
+        self._forget(node)
+        super().on_node_left(node)
+
+    def on_node_failed(self, node: NodeId) -> None:
+        self._forget(node)
+        super().on_node_failed(node)
+
+    def _forget(self, node: NodeId) -> None:
+        self._registered.pop(node, None)
+        self._trackers.pop(node, None)
+        parent = self.sim.parent(node)
+        if parent is not None:
+            self._registered.get(parent, {}).pop(node, None)

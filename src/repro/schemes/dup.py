@@ -1,0 +1,210 @@
+"""DUP: Dynamic-tree based Update Propagation — the paper's scheme.
+
+This adapter wires the pure protocol state machine
+(:class:`repro.core.protocol.DupProtocol`) into the simulation engine:
+
+- interest tracking at every query arrival (Figure 3 (A)), subscriptions
+  piggybacked on request packets where possible;
+- subscribe / unsubscribe / substitute payloads processed at each hop of
+  the virtual path (Figure 3 (B), (C), (E));
+- **direct pushes** along the DUP tree: one overlay hop per DUP-tree edge
+  regardless of search-tree distance — the short-cut that gives DUP its
+  advantage over CUP;
+- interest-loss detection when a push arrives (Figure 3 (D));
+- churn repair through :class:`repro.core.maintenance.DupMaintenance`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.interest import InterestPolicy
+from repro.core.maintenance import DupMaintenance
+from repro.core.protocol import DupProtocol, StepResult
+from repro.net.message import (
+    Category,
+    PushMessage,
+    QueryMessage,
+)
+from repro.schemes.base import PathCachingScheme
+
+NodeId = int
+
+
+class DupScheme(PathCachingScheme):
+    """The dynamic update propagation tree scheme."""
+
+    name = "dup"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.protocol: DupProtocol | None = None
+        self.maintenance: DupMaintenance | None = None
+        self._trackers: dict[NodeId, InterestPolicy] = {}
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        self.protocol = DupProtocol(is_root=sim.is_root)
+        self.maintenance = DupMaintenance(
+            self.protocol,
+            sim.tree,
+            emit=self._emit_maintenance,
+            charge=self._charge_maintenance,
+        )
+
+    # -- interest ------------------------------------------------------------
+    def tracker(self, node: NodeId) -> InterestPolicy:
+        """The node's interest policy instance (lazily created)."""
+        tracker = self._trackers.get(node)
+        if tracker is None:
+            tracker = self.sim.make_interest_policy()
+            self._trackers[node] = tracker
+        return tracker
+
+    def is_interested(self, node: NodeId) -> bool:
+        """Whether ``node`` currently satisfies the interest policy."""
+        return self.tracker(node).is_interested(self.sim.env.now)
+
+    # -- hooks into the shared query engine ------------------------------------
+    def _on_query_arrival(
+        self, node: NodeId, packet: Optional[QueryMessage]
+    ) -> list[object]:
+        now = self.sim.env.now
+        self.tracker(node).record(now)
+        if self.sim.is_root(node):
+            return []
+        if not self._should_subscribe(node):
+            return []
+        if packet is None and not self.sim.config.eager_subscribe:
+            # Local query with no packet yet: if it misses, the
+            # subscription rides the outgoing request (paper: "piggybacks
+            # subscribe(N6) by setting the interest bit in the request
+            # packet"); if it hits, defer to the next miss rather than
+            # paying an explicit hop-by-hop walk.
+            return []
+        return self.protocol.ensure_subscribed(node).upstream
+
+    def _on_local_miss(self, node: NodeId) -> list[object]:
+        if self.sim.is_root(node) or not self._should_subscribe(node):
+            return []
+        return self.protocol.ensure_subscribed(node).upstream
+
+    def _should_subscribe(self, node: NodeId) -> bool:
+        return self.is_interested(node) and not self.protocol.is_subscribed(
+            node
+        )
+
+    def _process_control(
+        self, node: NodeId, payloads: list[object], explicit: bool
+    ) -> list[object]:
+        combined = StepResult()
+        for payload in payloads:
+            combined.merge(self.protocol.step(node, payload))
+        if (
+            explicit
+            and self.sim.config.immediate_push
+            and self.protocol.in_dup_tree(node)
+        ):
+            # A subscriber added via an explicit subscribe missed the
+            # reply that a piggybacked one would have ridden back on: the
+            # node that caught the subscription — if it is itself a push
+            # recipient (root or DUP-tree interior) — hands it the current
+            # index right away (paper: the root "pushes the current and
+            # future updated index").  Relay nodes on the virtual path do
+            # not push: the subscription is not theirs to serve.
+            self._push_current(node, combined.new_subscribers)
+        return combined.upstream
+
+    # -- pushes ---------------------------------------------------------------
+    def on_new_version(self, version) -> None:
+        self._push_to_targets(self.sim.tree.root, version)
+
+    def _handle_push(self, node: NodeId, message: PushMessage) -> None:
+        sim = self.sim
+        sim.cache(node).put(message.version, sim.env.now)
+        # Figure 3 (D): the push is the natural moment to notice that the
+        # node's interest lapsed during the last cycle.
+        if self.protocol.is_subscribed(node) and not self.is_interested(node):
+            result = self.protocol.drop_subscription(node)
+            self._send_control(node, result.upstream)
+        self._push_to_targets(node, message.version)
+
+    def _push_to_targets(self, node: NodeId, version) -> None:
+        sim = self.sim
+        for target in self.protocol.push_targets(node):
+            if not sim.alive(target):
+                continue  # repaired by the failure flows
+            sim.transport.send(
+                target,
+                PushMessage(key=sim.key, version=version, sender=node),
+            )
+
+    def _push_current(self, node: NodeId, targets: list[NodeId]) -> None:
+        """Push the node's current valid copy to newly added subscribers."""
+        if not targets:
+            return
+        sim = self.sim
+        version = sim.lookup(node)
+        if version is None:
+            return
+        for target in targets:
+            if target != node and sim.alive(target):
+                sim.transport.send(
+                    target,
+                    PushMessage(key=sim.key, version=version, sender=node),
+                )
+
+    # -- churn -------------------------------------------------------------------
+    def on_node_joined_edge(
+        self, new: NodeId, upper: NodeId, lower: NodeId
+    ) -> None:
+        self.maintenance.node_joined_edge(new, upper, lower)
+
+    def on_node_joined_leaf(self, parent: NodeId, new: NodeId) -> None:
+        self.maintenance.node_joined_leaf(parent, new)
+
+    def on_node_left(self, node: NodeId) -> None:
+        self.maintenance.node_left(node)
+        self._trackers.pop(node, None)
+        self.sim.forget_node(node)
+
+    def on_node_failed(self, node: NodeId) -> None:
+        self.maintenance.node_failed(node)
+        self._trackers.pop(node, None)
+        self.sim.forget_node(node)
+
+    def on_root_failed(self, new_root: NodeId) -> None:
+        """Authority failure (paper failure case 5)."""
+        self.maintenance.root_failed(new_root)
+
+    # -- maintenance plumbing ------------------------------------------------------
+    def _emit_maintenance(self, from_node: NodeId, payload: object) -> None:
+        self._send_control(from_node, [payload])
+
+    def _charge_maintenance(self, hops: int) -> None:
+        self.sim.ledger.charge(Category.CONTROL, hops)
+
+    # -- introspection (used by experiments/tests) -----------------------------------
+    def subscribed_nodes(self) -> tuple[NodeId, ...]:
+        """Nodes currently subscribed (in their own lists)."""
+        return tuple(
+            node
+            for node in self.protocol.nodes_with_state()
+            if self.protocol.is_subscribed(node)
+        )
+
+    def dup_tree_size(self) -> int:
+        """Number of nodes involved in update propagation."""
+        reachable = {self.sim.tree.root}
+        frontier = [self.sim.tree.root]
+        while frontier:
+            sender = frontier.pop()
+            if sender != self.sim.tree.root and not self.protocol.in_dup_tree(
+                sender
+            ):
+                continue
+            for target in self.protocol.push_targets(sender):
+                if target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+        return len(reachable)

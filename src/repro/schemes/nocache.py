@@ -1,0 +1,38 @@
+"""No-cache baseline: every query travels all the way to the authority.
+
+Not part of the paper's comparison, but a useful analytical anchor for the
+ablation benchmarks: its latency equals the mean node depth and its cost
+exactly twice that, independent of the workload.
+
+In the paper's hop-cost model this scheme is also exactly the
+*polling-based strong consistency* approach of Section I ("every time a
+node requests a data item and there is a cached copy, it first contacts
+the server to validate the cached copy"): a validation round trip to the
+authority costs the same hops as a fresh fetch, which is why the paper
+dismisses polling as generating "significant network traffic" and builds
+on TTL/invalidation instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.index.entry import IndexVersion
+from repro.schemes.base import PathCachingScheme
+
+NodeId = int
+
+
+class NoCacheScheme(PathCachingScheme):
+    """Path caching disabled: only the authority ever serves."""
+
+    name = "nocache"
+
+    def _lookup(self, node: NodeId) -> Optional[IndexVersion]:
+        """Only the authority serves."""
+        if self.sim.is_root(node):
+            return self.sim.lookup(node)
+        return None
+
+    def _store_reply(self, node: NodeId, version: IndexVersion) -> None:
+        """Replies are consumed, never cached."""

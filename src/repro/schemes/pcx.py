@@ -1,0 +1,18 @@
+"""PCX: Path Caching with eXpiration (the paper's passive baseline).
+
+Indices passing by a node are cached with a TTL and served until they
+expire; there is no proactive propagation at all.  The paper's two PCX
+drawbacks fall out of the version model: a cached copy is unusable after
+its absolute expiry even when unchanged, and it may be stale before expiry
+when the authority re-issued early.
+"""
+
+from __future__ import annotations
+
+from repro.schemes.base import PathCachingScheme
+
+
+class PcxScheme(PathCachingScheme):
+    """Pure path caching: the shared query engine with no hooks."""
+
+    name = "pcx"

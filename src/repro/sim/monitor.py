@@ -1,0 +1,178 @@
+"""Time-series probes for simulations.
+
+A :class:`Monitor` samples named quantities on a fixed cadence (one
+simulation process per monitor) and stores `(time, value)` series; probes
+are plain callables, so anything reachable from the engine — subscriber
+counts, hit rates, cache occupancy, DUP-tree size — can be observed
+without touching the measured code.
+
+The engine exposes this through
+``Simulation.add_probe(name, fn, interval)``; the experiments use it for
+the convergence plots and the test-suite for temporal assertions (e.g.
+"the subscriber count stabilizes after the first TTL").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.errors import ConfigError
+from repro.sim.core import Environment
+
+Probe = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One observation of a probed quantity."""
+
+    time: float
+    value: float
+
+
+class Series:
+    """An append-only time series with simple summaries."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Record one sample (times must be non-decreasing)."""
+        if self._times and time < self._times[-1]:
+            raise ConfigError(
+                f"samples must be time-ordered: {time} < {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        """Sample times."""
+        return tuple(self._times)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """Sample values."""
+        return tuple(self._values)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return (
+            Sample(t, v) for t, v in zip(self._times, self._values)
+        )
+
+    @property
+    def last(self) -> Optional[Sample]:
+        """The most recent sample, if any."""
+        if not self._times:
+            return None
+        return Sample(self._times[-1], self._values[-1])
+
+    def window(self, start: float, end: float) -> "Series":
+        """The sub-series with ``start <= time <= end``."""
+        clipped = Series(self.name)
+        for time, value in zip(self._times, self._values):
+            if start <= time <= end:
+                clipped.append(time, value)
+        return clipped
+
+    def mean(self) -> float:
+        """Unweighted mean of the sampled values (``nan`` when empty)."""
+        if not self._values:
+            return float("nan")
+        return sum(self._values) / len(self._values)
+
+    def minimum(self) -> float:
+        """Smallest sample (``nan`` when empty)."""
+        return min(self._values) if self._values else float("nan")
+
+    def maximum(self) -> float:
+        """Largest sample (``nan`` when empty)."""
+        return max(self._values) if self._values else float("nan")
+
+    def is_stable(self, last_fraction: float = 0.5, tolerance: float = 0.1) -> bool:
+        """Whether the trailing ``last_fraction`` of samples varies by at
+        most ``tolerance`` relative to its mean (convergence heuristic)."""
+        if len(self._values) < 4:
+            return False
+        tail = self._values[int(len(self._values) * (1 - last_fraction)) :]
+        center = sum(tail) / len(tail)
+        if center == 0:
+            return max(abs(v) for v in tail) <= tolerance
+        return all(abs(v - center) <= tolerance * abs(center) for v in tail)
+
+    def __repr__(self) -> str:
+        return f"Series({self.name!r}, samples={len(self)})"
+
+
+class Monitor:
+    """Samples registered probes on a fixed simulated-time cadence.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    interval:
+        Seconds of simulated time between samples.
+    start_at:
+        Time of the first sample (defaults to one interval in).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        interval: float,
+        start_at: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive, got {interval}")
+        self._env = env
+        self._interval = float(interval)
+        self._start_at = float(start_at if start_at is not None else interval)
+        self._probes: dict[str, Probe] = {}
+        self._series: dict[str, Series] = {}
+        self._started = False
+
+    def probe(self, name: str, function: Probe) -> Series:
+        """Register a probe; returns its (live) series."""
+        if name in self._probes:
+            raise ConfigError(f"probe {name!r} already registered")
+        self._probes[name] = function
+        series = Series(name)
+        self._series[name] = series
+        if not self._started:
+            self._started = True
+            self._env.process(self._sampling_loop(), name="monitor")
+        return series
+
+    def series(self, name: str) -> Series:
+        """The series recorded for ``name``."""
+        try:
+            return self._series[name]
+        except KeyError:
+            raise ConfigError(f"unknown probe {name!r}") from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All registered probe names."""
+        return tuple(self._series)
+
+    def sample_now(self) -> None:
+        """Take one sample of every probe immediately."""
+        now = self._env.now
+        for name, function in self._probes.items():
+            self._series[name].append(now, float(function()))
+
+    def _sampling_loop(self):
+        delay = max(0.0, self._start_at - self._env.now)
+        yield self._env.timeout(delay)
+        while True:
+            self.sample_now()
+            yield self._env.timeout(self._interval)

@@ -1,0 +1,38 @@
+"""Statistics substrate: running estimators, confidence intervals, variates.
+
+Used by the simulation engine to compute the paper's two performance
+metrics (average query latency, average query cost) together with 95 %
+confidence intervals, and by the workload generators to draw the paper's
+inter-arrival and placement distributions.
+"""
+
+from repro.stats.confidence import (
+    ConfidenceInterval,
+    batch_means_interval,
+    mean_confidence_interval,
+)
+from repro.stats.distributions import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    LogNormal,
+    Pareto,
+    Uniform,
+    ZipfSelector,
+)
+from repro.stats.running import RunningStat, TimeWeightedStat
+
+__all__ = [
+    "ConfidenceInterval",
+    "Deterministic",
+    "Distribution",
+    "Exponential",
+    "LogNormal",
+    "Pareto",
+    "RunningStat",
+    "TimeWeightedStat",
+    "Uniform",
+    "ZipfSelector",
+    "batch_means_interval",
+    "mean_confidence_interval",
+]

@@ -1,0 +1,188 @@
+"""Running (single-pass) statistical estimators.
+
+:class:`RunningStat` implements Welford's numerically stable online
+algorithm for mean and variance; :class:`TimeWeightedStat` integrates a
+piecewise-constant signal over simulated time (used for, e.g., average
+number of subscribed nodes).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class RunningStat:
+    """Single-pass mean / variance / extrema accumulator (Welford).
+
+    Example
+    -------
+    >>> stat = RunningStat()
+    >>> for x in (2.0, 4.0, 6.0):
+    ...     stat.add(x)
+    >>> stat.mean
+    4.0
+    >>> stat.variance
+    4.0
+    """
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max", "_total")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def add(self, value: float) -> None:
+        """Accumulate one observation."""
+        value = float(value)
+        self._count += 1
+        self._total += value
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values) -> None:
+        """Accumulate an iterable of observations."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Return a new accumulator combining two (Chan et al. merge)."""
+        merged = RunningStat()
+        if self._count == 0:
+            merged.__setstate(other)
+            return merged
+        if other._count == 0:
+            merged.__setstate(self)
+            return merged
+        count = self._count + other._count
+        delta = other._mean - self._mean
+        merged._count = count
+        merged._total = self._total + other._total
+        merged._mean = self._mean + delta * other._count / count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self._count * other._count / count
+        )
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    def __setstate(self, source: "RunningStat") -> None:
+        self._count = source._count
+        self._mean = source._mean
+        self._m2 = source._m2
+        self._min = source._min
+        self._max = source._max
+        self._total = source._total
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (``nan`` when empty)."""
+        return self._mean if self._count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (``nan`` for fewer than 2 samples)."""
+        if self._count < 2:
+            return math.nan
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Unbiased sample standard deviation."""
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else math.nan
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (``nan`` when empty)."""
+        return self._min if self._count else math.nan
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (``nan`` when empty)."""
+        return self._max if self._count else math.nan
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStat(count={self._count}, mean={self.mean:.6g}, "
+            f"stdev={self.stdev:.6g})"
+        )
+
+
+class TimeWeightedStat:
+    """Time-average of a piecewise-constant signal.
+
+    Call :meth:`update` whenever the tracked value changes; the accumulator
+    weights each value by how long it was held.
+
+    Example
+    -------
+    >>> stat = TimeWeightedStat(start_time=0.0, value=0.0)
+    >>> stat.update(at=10.0, value=4.0)   # value was 0 during [0, 10)
+    >>> stat.mean(at=20.0)                # 0*10 + 4*10 over 20
+    2.0
+    """
+
+    __slots__ = ("_last_time", "_value", "_area", "_start")
+
+    def __init__(self, start_time: float = 0.0, value: float = 0.0):
+        self._start = float(start_time)
+        self._last_time = float(start_time)
+        self._value = float(value)
+        self._area = 0.0
+
+    def update(self, at: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at time ``at``."""
+        if at < self._last_time:
+            raise ValueError(
+                f"time moved backwards: {at} < {self._last_time}"
+            )
+        self._area += self._value * (at - self._last_time)
+        self._last_time = float(at)
+        self._value = float(value)
+
+    @property
+    def current(self) -> float:
+        """The last recorded value."""
+        return self._value
+
+    def mean(self, at: float) -> float:
+        """Time-average of the signal over ``[start, at]``."""
+        if at < self._last_time:
+            raise ValueError(
+                f"time moved backwards: {at} < {self._last_time}"
+            )
+        elapsed = at - self._start
+        if elapsed <= 0:
+            return math.nan
+        area = self._area + self._value * (at - self._last_time)
+        return area / elapsed
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeWeightedStat(current={self._value}, "
+            f"since={self._start})"
+        )

@@ -1,0 +1,31 @@
+"""Overlay topologies: index search trees and the Chord DHT substrate.
+
+The paper's simulations use a randomly generated *index search tree* whose
+per-node child count is uniform on ``[1, D]`` (``D`` = maximum node degree).
+We implement that generator plus a full Chord ring from which per-key search
+trees can be derived (the union of all nodes' lookup paths toward a key's
+authority node forms a tree, as the paper notes for structured overlays).
+"""
+
+from repro.topology.tree import SearchTree
+from repro.topology.generators import (
+    balanced_tree,
+    chain_tree,
+    random_search_tree,
+    star_tree,
+)
+from repro.topology.can import CanOverlay, can_search_tree
+from repro.topology.chord import ChordRing
+from repro.topology.chord_tree import chord_search_tree
+
+__all__ = [
+    "CanOverlay",
+    "ChordRing",
+    "SearchTree",
+    "balanced_tree",
+    "chain_tree",
+    "can_search_tree",
+    "chord_search_tree",
+    "random_search_tree",
+    "star_tree",
+]

@@ -1,0 +1,308 @@
+"""A Content-Addressable Network (Ratnasamy et al., SIGCOMM 2001).
+
+CAN is the paper's other canonical structured overlay (reference [2];
+"distributed approaches such as CAN and Chord have been proposed").  The
+coordinate space is the d-dimensional unit torus-less cube ``[0, 1)^d``
+partitioned into axis-aligned *zones*, one per node.  A key hashes to a
+point; the node owning the containing zone is the key's authority.
+Routing is greedy: each hop forwards to the neighbor zone closest to the
+target point, guaranteeing progress because some neighbor always lies
+strictly nearer along the straight line to the target.
+
+Construction follows CAN's join procedure: each arriving node picks a
+random point, routes to the zone containing it, and splits that zone in
+half along the dimension in which it is largest (ties broken by the
+lowest axis), taking one half.
+
+:func:`can_search_tree` derives the per-key index search tree exactly as
+for Chord: the next-hop function is deterministic per (node, key), so
+following it induces a tree rooted at the key's owner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError, TopologyError
+from repro.topology.tree import SearchTree
+
+NodeId = int
+
+
+def can_hash_point(label: str, dimensions: int) -> tuple[float, ...]:
+    """Deterministically hash a label to a point in ``[0, 1)^d``."""
+    coordinates = []
+    for axis in range(dimensions):
+        digest = hashlib.sha1(f"{label}#{axis}".encode()).digest()
+        value = int.from_bytes(digest[:8], "big") / 2**64
+        coordinates.append(value)
+    return tuple(coordinates)
+
+
+@dataclass(frozen=True)
+class Zone:
+    """An axis-aligned box ``[low_i, high_i)`` per dimension."""
+
+    lows: tuple[float, ...]
+    highs: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lows) != len(self.highs):
+            raise TopologyError("dimension mismatch in zone bounds")
+        for low, high in zip(self.lows, self.highs):
+            if not low < high:
+                raise TopologyError(f"degenerate zone bound [{low}, {high})")
+
+    @property
+    def dimensions(self) -> int:
+        """Number of coordinate-space dimensions."""
+        return len(self.lows)
+
+    def contains(self, point: tuple[float, ...]) -> bool:
+        """Whether ``point`` lies inside the half-open box."""
+        return all(
+            low <= coordinate < high
+            for coordinate, low, high in zip(point, self.lows, self.highs)
+        )
+
+    def center(self) -> tuple[float, ...]:
+        """The box's center point."""
+        return tuple(
+            (low + high) / 2 for low, high in zip(self.lows, self.highs)
+        )
+
+    def distance_to(self, point: tuple[float, ...]) -> float:
+        """Euclidean distance from ``point`` to the box (0 if inside)."""
+        total = 0.0
+        for coordinate, low, high in zip(point, self.lows, self.highs):
+            if coordinate < low:
+                total += (low - coordinate) ** 2
+            elif coordinate >= high:
+                total += (coordinate - high) ** 2
+        return total**0.5
+
+    def split(self) -> tuple["Zone", "Zone"]:
+        """Halve along the largest dimension (lowest axis on ties)."""
+        spans = [high - low for low, high in zip(self.lows, self.highs)]
+        axis = max(range(len(spans)), key=lambda i: (spans[i], -i))
+        middle = (self.lows[axis] + self.highs[axis]) / 2
+        left_highs = list(self.highs)
+        left_highs[axis] = middle
+        right_lows = list(self.lows)
+        right_lows[axis] = middle
+        return (
+            Zone(self.lows, tuple(left_highs)),
+            Zone(tuple(right_lows), self.highs),
+        )
+
+    def abuts(self, other: "Zone") -> bool:
+        """Whether the zones share a (d-1)-dimensional face."""
+        touching_axis = None
+        for axis in range(self.dimensions):
+            if (
+                self.highs[axis] == other.lows[axis]
+                or other.highs[axis] == self.lows[axis]
+            ):
+                overlap_elsewhere = all(
+                    self.lows[i] < other.highs[i]
+                    and other.lows[i] < self.highs[i]
+                    for i in range(self.dimensions)
+                    if i != axis
+                )
+                if overlap_elsewhere:
+                    if touching_axis is not None:
+                        return False  # corner contact only
+                    touching_axis = axis
+            elif not (
+                self.lows[axis] < other.highs[axis]
+                and other.lows[axis] < self.highs[axis]
+            ):
+                return False  # separated along this axis
+        return touching_axis is not None
+
+
+class CanOverlay:
+    """A static CAN: zones, neighbors, and greedy point routing."""
+
+    def __init__(self, dimensions: int = 2):
+        if dimensions < 1:
+            raise TopologyError(f"need >= 1 dimension, got {dimensions}")
+        self._dimensions = dimensions
+        self._zones: dict[NodeId, Zone] = {}
+        self._neighbors: dict[NodeId, set[NodeId]] = {}
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def random(
+        cls, n: int, rng: np.random.Generator, dimensions: int = 2
+    ) -> "CanOverlay":
+        """Build an ``n``-node CAN by the standard join procedure."""
+        if n < 1:
+            raise TopologyError(f"need at least one node, got n={n}")
+        overlay = cls(dimensions)
+        whole = Zone((0.0,) * dimensions, (1.0,) * dimensions)
+        overlay._install(0, whole)
+        for node in range(1, n):
+            point = tuple(rng.random(dimensions))
+            victim = overlay.owner_of(point)
+            overlay._join_split(victim, node)
+        return overlay
+
+    def _install(self, node: NodeId, zone: Zone) -> None:
+        self._zones[node] = zone
+        self._neighbors[node] = set()
+        for other, other_zone in self._zones.items():
+            if other != node and zone.abuts(other_zone):
+                self._neighbors[node].add(other)
+                self._neighbors[other].add(node)
+
+    def _join_split(self, victim: NodeId, joiner: NodeId) -> None:
+        old_zone = self._zones[victim]
+        kept, given = old_zone.split()
+        # Re-wire the victim with its shrunken zone, then install the
+        # joiner; recomputing adjacency against all zones keeps this
+        # simple (construction-time cost only).
+        old_neighbors = self._neighbors.pop(victim)
+        for other in old_neighbors:
+            self._neighbors[other].discard(victim)
+        del self._zones[victim]
+        self._install(victim, kept)
+        self._install(joiner, given)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def dimensions(self) -> int:
+        """Coordinate-space dimensionality."""
+        return self._dimensions
+
+    @property
+    def node_ids(self) -> tuple[NodeId, ...]:
+        """All node ids, ascending."""
+        return tuple(sorted(self._zones))
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._zones
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(sorted(self._zones))
+
+    def zone(self, node: NodeId) -> Zone:
+        """The zone owned by ``node``."""
+        self._require(node)
+        return self._zones[node]
+
+    def neighbors(self, node: NodeId) -> tuple[NodeId, ...]:
+        """Nodes whose zones share a face with ``node``'s."""
+        self._require(node)
+        return tuple(sorted(self._neighbors[node]))
+
+    def owner_of(self, point: tuple[float, ...]) -> NodeId:
+        """The node whose zone contains ``point``."""
+        for node, zone in self._zones.items():
+            if zone.contains(point):
+                return node
+        raise TopologyError(f"no zone contains {point}")  # pragma: no cover
+
+    def key_point(self, key: str | int) -> tuple[float, ...]:
+        """Hash a key to its coordinate-space point."""
+        return can_hash_point(str(key), self._dimensions)
+
+    # -- routing ---------------------------------------------------------------
+    def next_hop(
+        self, node: NodeId, point: tuple[float, ...]
+    ) -> Optional[NodeId]:
+        """The greedy next hop from ``node`` toward ``point``.
+
+        ``None`` when ``node`` already owns the point.  Among neighbors,
+        picks the zone nearest to the point (strictly nearer than the
+        current zone — CAN's progress guarantee), tie-broken by id.
+        """
+        self._require(node)
+        current = self._zones[node]
+        if current.contains(point):
+            return None
+        here = current.distance_to(point)
+        best: Optional[NodeId] = None
+        best_distance = here
+        for neighbor in sorted(self._neighbors[node]):
+            distance = self._zones[neighbor].distance_to(point)
+            if distance < best_distance or (
+                best is None and distance == best_distance
+            ):
+                best = neighbor
+                best_distance = distance
+        if best is None:  # pragma: no cover - cannot happen on a valid CAN
+            raise TopologyError(f"routing stuck at node {node}")
+        return best
+
+    def route(self, start: NodeId, point: tuple[float, ...]) -> list[NodeId]:
+        """The full greedy route from ``start`` to the point's owner."""
+        self._require(start)
+        path = [start]
+        current = start
+        for _ in range(len(self._zones) + 1):
+            hop = self.next_hop(current, point)
+            if hop is None:
+                return path
+            path.append(hop)
+            current = hop
+        raise TopologyError(  # pragma: no cover - defensive
+            f"route to {point} did not converge"
+        )
+
+    def validate(self) -> None:
+        """Check the partition invariants (volumes sum to 1, no overlap)."""
+        volume = 0.0
+        zones = list(self._zones.values())
+        for zone in zones:
+            product = 1.0
+            for low, high in zip(zone.lows, zone.highs):
+                product *= high - low
+            volume += product
+        if abs(volume - 1.0) > 1e-9:
+            raise TopologyError(f"zone volumes sum to {volume}, not 1")
+        for node, zone in self._zones.items():
+            for neighbor in self._neighbors[node]:
+                if not zone.abuts(self._zones[neighbor]):
+                    raise TopologyError(
+                        f"stale neighbor link {node} <-> {neighbor}"
+                    )
+
+    def _require(self, node: NodeId) -> None:
+        if node not in self._zones:
+            raise NodeNotFoundError(f"node {node} not in the CAN")
+
+    def __repr__(self) -> str:
+        return f"CanOverlay(nodes={len(self._zones)}, d={self._dimensions})"
+
+
+def can_search_tree(overlay: CanOverlay, key: str | int) -> SearchTree:
+    """The index search tree for ``key`` over a CAN overlay.
+
+    As with Chord, the deterministic next-hop function induces a tree
+    rooted at the key's owner (the authority node).
+    """
+    point = overlay.key_point(key)
+    root = overlay.owner_of(point)
+    tree = SearchTree(root=root)
+    for node in overlay.node_ids:
+        if node in tree:
+            continue
+        path = overlay.route(node, point)
+        boundary = next(
+            index for index, hop in enumerate(path) if hop in tree
+        )
+        for index in range(boundary - 1, -1, -1):
+            tree.add_leaf(path[index + 1], path[index])
+    if len(tree) != len(overlay):
+        raise TopologyError(  # pragma: no cover - defensive
+            "CAN tree does not span the overlay"
+        )
+    return tree

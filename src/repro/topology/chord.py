@@ -1,0 +1,206 @@
+"""A Chord distributed hash table (Stoica et al., SIGCOMM 2001).
+
+The paper targets *structured* peer-to-peer networks and cites Chord as the
+canonical example: queries for a key are routed along well-defined paths to
+the key's authority node, and those paths form the index search tree.  This
+module implements a complete static Chord ring — identifier circle, finger
+tables, successor lists, and greedy lookup — from which
+:func:`repro.topology.chord_tree.chord_search_tree` derives per-key search
+trees.
+
+Identifiers live on a ``2**m`` circle.  A key ``k`` is owned by
+``successor(k)``: the first node clockwise from ``k``.  Lookups hop via the
+*closest preceding finger*, halving the remaining distance each step, so
+paths have O(log n) hops.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError, TopologyError
+
+
+def chord_hash(label: str, bits: int) -> int:
+    """Deterministic ``bits``-bit hash of a string label (SHA-1 based)."""
+    digest = hashlib.sha1(label.encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") % (1 << bits)
+
+
+def _in_interval(value: int, low: int, high: int, modulus: int) -> bool:
+    """Whether ``value`` is in the circular interval ``(low, high]``."""
+    low %= modulus
+    high %= modulus
+    value %= modulus
+    if low < high:
+        return low < value <= high
+    if low > high:
+        return value > low or value <= high
+    # low == high: the interval covers the whole circle.
+    return True
+
+
+class ChordRing:
+    """A static Chord identifier circle with finger tables.
+
+    Parameters
+    ----------
+    node_ids:
+        Distinct identifiers in ``[0, 2**bits)``; one per participating
+        node.
+    bits:
+        Size of the identifier space (``m`` in the Chord paper).
+    """
+
+    def __init__(self, node_ids: Iterable[int], bits: int = 32):
+        if bits < 1:
+            raise TopologyError(f"bits must be >= 1, got {bits}")
+        self._bits = bits
+        self._modulus = 1 << bits
+        ids = sorted(set(int(i) for i in node_ids))
+        if not ids:
+            raise TopologyError("a Chord ring needs at least one node")
+        if ids[0] < 0 or ids[-1] >= self._modulus:
+            raise TopologyError(
+                f"node ids must lie in [0, 2**{bits}); got range "
+                f"[{ids[0]}, {ids[-1]}]"
+            )
+        self._ids = ids
+        self._fingers: dict[int, list[int]] = {}
+        for node in ids:
+            self._fingers[node] = [
+                self.successor((node + (1 << k)) % self._modulus)
+                for k in range(bits)
+            ]
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def random(
+        cls, n: int, rng: np.random.Generator, bits: int = 32
+    ) -> "ChordRing":
+        """A ring of ``n`` nodes with distinct uniform-random identifiers."""
+        if n < 1:
+            raise TopologyError(f"need at least one node, got n={n}")
+        if n > (1 << bits):
+            raise TopologyError(
+                f"cannot place {n} distinct ids in a {bits}-bit space"
+            )
+        chosen: set[int] = set()
+        while len(chosen) < n:
+            needed = n - len(chosen)
+            draws = rng.integers(0, 1 << bits, size=needed * 2, dtype=np.int64)
+            for draw in draws:
+                chosen.add(int(draw))
+                if len(chosen) == n:
+                    break
+        return cls(chosen, bits=bits)
+
+    @classmethod
+    def from_labels(
+        cls, labels: Iterable[str], bits: int = 32
+    ) -> "ChordRing":
+        """A ring whose node ids are SHA-1 hashes of string labels."""
+        ids = {chord_hash(label, bits) for label in labels}
+        return cls(ids, bits=bits)
+
+    # -- basic queries ---------------------------------------------------
+    @property
+    def bits(self) -> int:
+        """Identifier-space size in bits."""
+        return self._bits
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """All node identifiers, ascending."""
+        return tuple(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, node: int) -> bool:
+        index = bisect.bisect_left(self._ids, node)
+        return index < len(self._ids) and self._ids[index] == node
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    def successor(self, key: int) -> int:
+        """The node owning ``key``: first node clockwise from ``key``."""
+        key %= self._modulus
+        index = bisect.bisect_left(self._ids, key)
+        if index == len(self._ids):
+            return self._ids[0]
+        return self._ids[index]
+
+    def predecessor(self, node: int) -> int:
+        """The node immediately counter-clockwise from ``node``."""
+        self._require(node)
+        index = bisect.bisect_left(self._ids, node)
+        return self._ids[index - 1] if index > 0 else self._ids[-1]
+
+    def finger_table(self, node: int) -> tuple[int, ...]:
+        """``node``'s finger table: entry k is successor(node + 2**k)."""
+        self._require(node)
+        return tuple(self._fingers[node])
+
+    # -- routing -----------------------------------------------------------
+    def closest_preceding_finger(self, node: int, key: int) -> int:
+        """The finger of ``node`` closest to (but preceding) ``key``."""
+        self._require(node)
+        for finger in reversed(self._fingers[node]):
+            if finger != node and _in_interval(
+                finger, node, key - 1, self._modulus
+            ):
+                return finger
+        return node
+
+    def next_hop(self, node: int, key: int) -> Optional[int]:
+        """Next node on the lookup route from ``node`` toward ``key``.
+
+        Returns ``None`` when ``node`` already owns ``key``.
+        """
+        self._require(node)
+        owner = self.successor(key)
+        if node == owner:
+            return None
+        successor = self._fingers[node][0]
+        if _in_interval(key, node, successor, self._modulus):
+            return successor
+        finger = self.closest_preceding_finger(node, key)
+        if finger == node:
+            # No strictly closer finger: fall through to the successor.
+            return successor
+        return finger
+
+    def lookup_path(self, start: int, key: int) -> list[int]:
+        """The full lookup route from ``start`` to the owner of ``key``.
+
+        The returned list starts with ``start`` and ends with the owner.
+        """
+        self._require(start)
+        path = [start]
+        current = start
+        for _ in range(len(self._ids) + 1):
+            hop = self.next_hop(current, key)
+            if hop is None:
+                return path
+            path.append(hop)
+            current = hop
+        raise TopologyError(  # pragma: no cover - defensive
+            f"lookup for key {key} from {start} did not converge"
+        )
+
+    def path_length(self, start: int, key: int) -> int:
+        """Number of hops on the lookup route from ``start`` to the owner."""
+        return len(self.lookup_path(start, key)) - 1
+
+    def _require(self, node: int) -> None:
+        if node not in self:
+            raise NodeNotFoundError(f"node {node} not on the ring")
+
+    def __repr__(self) -> str:
+        return f"ChordRing(nodes={len(self._ids)}, bits={self._bits})"

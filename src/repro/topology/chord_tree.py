@@ -1,0 +1,58 @@
+"""Deriving an index search tree from Chord lookup routes.
+
+For a fixed key, every node's Chord lookup route is determined by the
+*next-hop* function, which depends only on the current node and the key.
+Following next hops therefore induces a functional graph whose sinks all
+reach the key's owner — i.e. a tree rooted at the authority node.  This is
+exactly the paper's "index search tree" for structured overlays.
+
+The resulting trees are used as an alternative topology source for the
+experiments (`topology="chord"`), validating that DUP's advantage does not
+depend on the synthetic uniform-child-count generator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.chord import ChordRing
+from repro.topology.tree import SearchTree
+
+
+def chord_search_tree(ring: ChordRing, key: int) -> SearchTree:
+    """Build the index search tree for ``key`` over a Chord ring.
+
+    Parameters
+    ----------
+    ring:
+        The Chord overlay.
+    key:
+        Any identifier; its owner (``ring.successor(key)``) becomes the
+        tree root / authority node.
+
+    Returns
+    -------
+    SearchTree
+        Tree over the ring's node ids whose edges are next-hop pointers
+        toward the authority node.
+    """
+    root = ring.successor(key)
+    tree = SearchTree(root=root)
+    pending = [node for node in ring.node_ids if node != root]
+    # Insert nodes in path order: walk each node's route and attach any
+    # not-yet-present prefix from the tree boundary downward.
+    for node in pending:
+        if node in tree:
+            continue
+        path = ring.lookup_path(node, key)
+        # Find the first node of the path already in the tree; everything
+        # before it must be attached (in reverse, parent before child).
+        boundary = next(
+            index for index, hop in enumerate(path) if hop in tree
+        )
+        for index in range(boundary - 1, -1, -1):
+            tree.add_leaf(path[index + 1], path[index])
+    if len(tree) != len(ring):
+        raise TopologyError(  # pragma: no cover - defensive
+            "chord tree does not span the ring"
+        )
+    return tree

@@ -1,0 +1,345 @@
+"""The index search tree: a rooted tree over node ids, mutable under churn.
+
+In a structured peer-to-peer network every query for a key is routed along
+a well-defined path toward the key's *authority node*; the union of those
+paths forms the per-key index search tree (paper, Section I).  Queries
+travel **up** this tree (toward the root), replies travel back down.
+
+The tree is mutable because nodes join, leave, and fail (paper, Section
+III-C):
+
+- :meth:`insert_on_edge` — a joining node takes over part of a neighbor's
+  key space and lands between two existing tree nodes.
+- :meth:`add_leaf` — a joining node lands outside any existing path.
+- :meth:`splice_out` — a leaving/failed interior node is removed and its
+  children re-parent to its parent (a neighbor "acts as" the departed
+  node).
+- :meth:`remove_leaf` — a leaving/failed edge node simply disappears.
+
+All operations maintain the parent/children maps consistently;
+:meth:`validate` checks the invariants and is exercised heavily by the
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import networkx as nx
+
+from repro.errors import NodeNotFoundError, TopologyError
+
+NodeId = int
+
+
+class SearchTree:
+    """A rooted tree with O(1) parent/children access and dynamic updates."""
+
+    def __init__(self, root: NodeId):
+        self._root = root
+        self._parent: dict[NodeId, Optional[NodeId]] = {root: None}
+        self._children: dict[NodeId, list[NodeId]] = {root: []}
+
+    # -- construction -----------------------------------------------------
+    def add_leaf(self, parent: NodeId, node: NodeId) -> None:
+        """Attach ``node`` as a new child of ``parent``."""
+        self._require(parent)
+        if node in self._parent:
+            raise TopologyError(f"node {node} already in tree")
+        self._parent[node] = parent
+        self._children[node] = []
+        self._children[parent].append(node)
+
+    def insert_on_edge(
+        self, upper: NodeId, lower: NodeId, node: NodeId
+    ) -> None:
+        """Insert ``node`` between ``upper`` (parent) and ``lower`` (child).
+
+        Models a join where the new node takes over part of ``upper``'s key
+        responsibility on the path toward ``lower`` (paper example: N3'
+        inserted between N3 and N5).
+        """
+        self._require(upper)
+        self._require(lower)
+        if node in self._parent:
+            raise TopologyError(f"node {node} already in tree")
+        if self._parent[lower] != upper:
+            raise TopologyError(
+                f"({upper}, {lower}) is not an edge of the tree"
+            )
+        siblings = self._children[upper]
+        siblings[siblings.index(lower)] = node
+        self._parent[node] = upper
+        self._children[node] = [lower]
+        self._parent[lower] = node
+
+    def remove_leaf(self, node: NodeId) -> None:
+        """Remove a leaf node (fails if it has children or is the root)."""
+        self._require(node)
+        if node == self._root:
+            raise TopologyError("cannot remove the root")
+        if self._children[node]:
+            raise TopologyError(f"node {node} is not a leaf")
+        parent = self._parent[node]
+        self._children[parent].remove(node)
+        del self._parent[node]
+        del self._children[node]
+
+    def splice_out(self, node: NodeId) -> NodeId:
+        """Remove an interior node; its children re-parent to its parent.
+
+        Returns the parent that absorbed the children.  Models a departure
+        or failure where a neighboring node takes over the departed node's
+        key space and hence its position on every search path.
+        """
+        self._require(node)
+        if node == self._root:
+            raise TopologyError(
+                "cannot splice out the root; use replace_root instead"
+            )
+        parent = self._parent[node]
+        siblings = self._children[parent]
+        index = siblings.index(node)
+        orphans = self._children[node]
+        siblings[index : index + 1] = orphans
+        for orphan in orphans:
+            self._parent[orphan] = parent
+        del self._parent[node]
+        del self._children[node]
+        return parent
+
+    def replace_root(self, new_root: NodeId) -> None:
+        """Replace a failed root with a fresh node (paper failure case 5).
+
+        The new node inherits all of the old root's children.
+        """
+        if new_root in self._parent:
+            raise TopologyError(f"node {new_root} already in tree")
+        old_root = self._root
+        children = self._children.pop(old_root)
+        del self._parent[old_root]
+        self._root = new_root
+        self._parent[new_root] = None
+        self._children[new_root] = children
+        for child in children:
+            self._parent[child] = new_root
+
+    def rename(self, old: NodeId, new: NodeId) -> None:
+        """Give node ``old`` the id ``new``, keeping its tree position.
+
+        Models a neighbor assuming a departed node's identity/key space in
+        place.
+        """
+        self._require(old)
+        if new in self._parent:
+            raise TopologyError(f"node {new} already in tree")
+        parent = self._parent.pop(old)
+        children = self._children.pop(old)
+        self._parent[new] = parent
+        self._children[new] = children
+        for child in children:
+            self._parent[child] = new
+        if parent is None:
+            self._root = new
+        else:
+            siblings = self._children[parent]
+            siblings[siblings.index(old)] = new
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def root(self) -> NodeId:
+        """The authority node of the tree's key."""
+        return self._root
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._parent)
+
+    @property
+    def nodes(self) -> Iterable[NodeId]:
+        """All node ids in the tree."""
+        return self._parent.keys()
+
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        """Parent of ``node`` (``None`` for the root)."""
+        self._require(node)
+        return self._parent[node]
+
+    def children(self, node: NodeId) -> tuple[NodeId, ...]:
+        """Children of ``node`` in insertion order."""
+        self._require(node)
+        return tuple(self._children[node])
+
+    def degree(self, node: NodeId) -> int:
+        """Number of children of ``node``."""
+        self._require(node)
+        return len(self._children[node])
+
+    def is_leaf(self, node: NodeId) -> bool:
+        """Whether ``node`` has no children."""
+        self._require(node)
+        return not self._children[node]
+
+    def depth(self, node: NodeId) -> int:
+        """Number of hops from ``node`` up to the root."""
+        self._require(node)
+        depth = 0
+        current = self._parent[node]
+        while current is not None:
+            depth += 1
+            current = self._parent[current]
+        return depth
+
+    def path_to_root(self, node: NodeId) -> list[NodeId]:
+        """Nodes from ``node`` (inclusive) up to the root (inclusive)."""
+        self._require(node)
+        path = [node]
+        current = self._parent[node]
+        while current is not None:
+            path.append(current)
+            current = self._parent[current]
+        return path
+
+    def ancestors(self, node: NodeId) -> list[NodeId]:
+        """Strict ancestors of ``node``, nearest first."""
+        return self.path_to_root(node)[1:]
+
+    def lca(self, first: NodeId, second: NodeId) -> NodeId:
+        """Lowest common ancestor of two nodes."""
+        first_path = set(self.path_to_root(first))
+        current = second
+        while current not in first_path:
+            current = self._parent[current]
+            if current is None:  # pragma: no cover - defensive
+                raise TopologyError("nodes share no ancestor")
+        return current
+
+    def distance(self, first: NodeId, second: NodeId) -> int:
+        """Tree distance (number of edges) between two nodes."""
+        meet = self.lca(first, second)
+        return (
+            self.depth(first) + self.depth(second) - 2 * self.depth(meet)
+        )
+
+    def on_path_to_root(self, node: NodeId, candidate: NodeId) -> bool:
+        """Whether ``candidate`` lies on ``node``'s path to the root."""
+        self._require(candidate)
+        current: Optional[NodeId] = node
+        while current is not None:
+            if current == candidate:
+                return True
+            current = self._parent[current]
+        return False
+
+    def child_branch(self, node: NodeId, descendant: NodeId) -> NodeId:
+        """Which child of ``node`` the given strict descendant hangs under.
+
+        Raises :class:`TopologyError` if ``descendant`` is not a strict
+        descendant of ``node``.
+        """
+        self._require(node)
+        path = self.path_to_root(descendant)
+        try:
+            index = path.index(node)
+        except ValueError:
+            raise TopologyError(
+                f"{descendant} is not a descendant of {node}"
+            ) from None
+        if index == 0:
+            raise TopologyError(f"{descendant} is not a strict descendant")
+        return path[index - 1]
+
+    def descendants(self, node: NodeId) -> Iterator[NodeId]:
+        """All strict descendants, depth-first."""
+        self._require(node)
+        stack = list(self._children[node])
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(self._children[current])
+
+    def subtree_size(self, node: NodeId) -> int:
+        """Number of nodes in ``node``'s subtree (including itself)."""
+        return 1 + sum(1 for _ in self.descendants(node))
+
+    def leaves(self) -> Iterator[NodeId]:
+        """All leaf nodes."""
+        for node, children in self._children.items():
+            if not children:
+                yield node
+
+    def height(self) -> int:
+        """Maximum depth over all nodes."""
+        best = 0
+        for node in self.leaves():
+            depth = self.depth(node)
+            if depth > best:
+                best = depth
+        return best
+
+    def mean_depth(self) -> float:
+        """Average depth over all nodes (the paper's expected query cost
+        driver: deeper trees mean longer cache-miss paths)."""
+        total = sum(self.depth(node) for node in self._parent)
+        return total / len(self._parent)
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Directed child->parent graph view (for analysis/plotting)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._parent)
+        for node, parent in self._parent.items():
+            if parent is not None:
+                graph.add_edge(node, parent)
+        return graph
+
+    # -- invariants -----------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`TopologyError` if broken.
+
+        Invariants: exactly one root; parent/children maps mirror each
+        other; every node reachable from the root; no cycles.
+        """
+        if self._parent.get(self._root, "missing") is not None:
+            raise TopologyError("root has a parent or is missing")
+        for node, parent in self._parent.items():
+            if parent is None:
+                if node != self._root:
+                    raise TopologyError(f"second root {node}")
+                continue
+            if parent not in self._parent:
+                raise TopologyError(f"dangling parent {parent} of {node}")
+            if node not in self._children[parent]:
+                raise TopologyError(
+                    f"{node} missing from children of {parent}"
+                )
+        for node, children in self._children.items():
+            if len(set(children)) != len(children):
+                raise TopologyError(f"duplicate children of {node}")
+            for child in children:
+                if self._parent.get(child) != node:
+                    raise TopologyError(
+                        f"child {child} of {node} disagrees on parent"
+                    )
+        # Reachability doubles as the cycle check.
+        seen = {self._root}
+        stack = [self._root]
+        while stack:
+            for child in self._children[stack.pop()]:
+                if child in seen:
+                    raise TopologyError(f"cycle through {child}")
+                seen.add(child)
+                stack.append(child)
+        if len(seen) != len(self._parent):
+            raise TopologyError("unreachable nodes present")
+
+    def _require(self, node: NodeId) -> None:
+        if node not in self._parent:
+            raise NodeNotFoundError(f"node {node} not in tree")
+
+    def __repr__(self) -> str:
+        return f"SearchTree(root={self._root}, nodes={len(self._parent)})"

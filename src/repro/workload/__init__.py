@@ -1,0 +1,23 @@
+"""Workload generation: query arrivals, placement, and churn.
+
+Models Section IV of the paper: queries arrive network-wide at rate
+``lambda`` with exponential (default) or Pareto inter-arrival times and
+are placed on nodes by a Zipf-like popularity distribution.  Churn (node
+join / leave / failure) exercises the Section III-C maintenance paths.
+"""
+
+from repro.workload.arrivals import ArrivalProcess, make_arrival_process
+from repro.workload.churn import ChurnConfig, ChurnEvent, ChurnProcess
+from repro.workload.selection import ZipfNodeSelector
+from repro.workload.trace import QueryTrace, TraceEvent
+
+__all__ = [
+    "ArrivalProcess",
+    "ChurnConfig",
+    "ChurnEvent",
+    "ChurnProcess",
+    "QueryTrace",
+    "TraceEvent",
+    "ZipfNodeSelector",
+    "make_arrival_process",
+]

@@ -1,0 +1,95 @@
+"""Zipf-like placement of queries over the overlay nodes.
+
+The paper: "The queries are distributed to nodes according to Zipf-like
+distribution ... P_i = (1/i^theta) / sum_k (1/k^theta)".  The mapping from
+Zipf rank to overlay node is an arbitrary but fixed assignment; we use a
+seeded random permutation so the hot nodes land at random positions of the
+search tree rather than systematically near the root (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.stats.distributions import ZipfSelector
+
+NodeId = int
+
+
+class ZipfNodeSelector:
+    """Selects query origins with Zipf-like popularity.
+
+    Parameters
+    ----------
+    nodes:
+        Eligible query origins (the authority node is normally excluded —
+        its queries are trivially local).
+    theta:
+        Zipf skew; 0 is uniform, large values concentrate queries on a few
+        hot nodes.
+    rng:
+        Stream used once to permute the rank-to-node assignment.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeId],
+        theta: float,
+        rng: np.random.Generator,
+    ):
+        if not nodes:
+            raise WorkloadError("need at least one eligible query origin")
+        order = list(nodes)
+        rng.shuffle(order)
+        self._ranked: list[NodeId] = order
+        self._zipf = ZipfSelector(len(order), theta)
+
+    def sample(self, rng: np.random.Generator) -> NodeId:
+        """Draw one query origin."""
+        return self._ranked[self._zipf.sample(rng)]
+
+    def sample_alive(
+        self,
+        rng: np.random.Generator,
+        is_alive,
+        attempts: int = 64,
+    ) -> Optional[NodeId]:
+        """Draw an origin that is still in the overlay (under churn).
+
+        Falls back to a linear scan of the ranking if repeated draws keep
+        hitting departed nodes; returns ``None`` when no eligible node is
+        alive at all.
+        """
+        for _ in range(attempts):
+            node = self.sample(rng)
+            if is_alive(node):
+                return node
+        for node in self._ranked:
+            if is_alive(node):
+                return node
+        return None
+
+    def rank_of(self, node: NodeId) -> int:
+        """The node's popularity rank (0 = hottest)."""
+        return self._ranked.index(node)
+
+    def hottest(self, count: int = 1) -> list[NodeId]:
+        """The ``count`` most popular nodes, hottest first."""
+        return self._ranked[:count]
+
+    @property
+    def theta(self) -> float:
+        """The Zipf skew parameter."""
+        return self._zipf.theta
+
+    def __len__(self) -> int:
+        return len(self._ranked)
+
+    def __repr__(self) -> str:
+        return (
+            f"ZipfNodeSelector(nodes={len(self._ranked)}, "
+            f"theta={self._zipf.theta})"
+        )

@@ -1,0 +1,160 @@
+"""Query traces: record, save, load, and replay workloads.
+
+The paper's TTL choice comes from a measurement study of deployed
+peer-to-peer systems [Saroiu et al.] and its Pareto arrivals from a
+Gnutella trace [Markatos].  Real traces are not redistributable, so this
+module provides the equivalent machinery: synthesize a trace from the
+paper's workload model once, persist it, and replay it bit-identically
+across schemes and code versions — or load an externally prepared trace
+in the same simple text format.
+
+Format: one event per line, ``<time_seconds> <node_id>``, ``#`` comments
+allowed, times non-decreasing.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import make_arrival_process
+from repro.workload.selection import ZipfNodeSelector
+
+NodeId = int
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One query issue: which node asks, and when."""
+
+    time: float
+    node: NodeId
+
+
+class QueryTrace:
+    """An immutable, time-ordered sequence of query events."""
+
+    def __init__(self, events: Iterable[TraceEvent]):
+        self._events = tuple(events)
+        last = -float("inf")
+        for event in self._events:
+            if event.time < 0:
+                raise WorkloadError(f"negative event time {event.time}")
+            if event.time < last:
+                raise WorkloadError(
+                    f"trace not time-ordered at t={event.time}"
+                )
+            last = event.time
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def synthesize(
+        cls,
+        nodes: Sequence[NodeId],
+        rate: float,
+        duration: float,
+        seed: int = 0,
+        arrival: str = "exponential",
+        pareto_alpha: float = 1.05,
+        zipf_theta: float = 0.95,
+    ) -> "QueryTrace":
+        """Generate a trace from the paper's workload model."""
+        if duration <= 0:
+            raise WorkloadError(f"duration must be positive, got {duration}")
+        rng = np.random.default_rng(seed)
+        arrivals = make_arrival_process(arrival, rate, rng, pareto_alpha)
+        selector = ZipfNodeSelector(
+            nodes, zipf_theta, np.random.default_rng(seed + 1)
+        )
+        placement_rng = np.random.default_rng(seed + 2)
+        events = []
+        clock = 0.0
+        while True:
+            clock += arrivals.next_gap()
+            if clock >= duration:
+                break
+            events.append(TraceEvent(clock, selector.sample(placement_rng)))
+        return cls(events)
+
+    @classmethod
+    def parse(cls, text: str) -> "QueryTrace":
+        """Parse the text format (one ``time node`` pair per line)."""
+        events = []
+        for line_number, line in enumerate(io.StringIO(text), start=1):
+            stripped = line.split("#", 1)[0].strip()
+            if not stripped:
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise WorkloadError(
+                    f"line {line_number}: expected 'time node', got "
+                    f"{stripped!r}"
+                )
+            try:
+                events.append(TraceEvent(float(parts[0]), int(parts[1])))
+            except ValueError as error:
+                raise WorkloadError(
+                    f"line {line_number}: {error}"
+                ) from None
+        return cls(events)
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "QueryTrace":
+        """Load a trace file."""
+        return cls.parse(pathlib.Path(path).read_text(encoding="utf-8"))
+
+    # -- persistence -----------------------------------------------------------
+    def dump(self) -> str:
+        """Serialize to the text format."""
+        lines = ["# repro-dup query trace: <time_seconds> <node_id>"]
+        lines.extend(f"{e.time:.6f} {e.node}" for e in self._events)
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Write the trace file."""
+        pathlib.Path(path).write_text(self.dump(), encoding="utf-8")
+
+    # -- access -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self._events[index]
+
+    @property
+    def duration(self) -> float:
+        """Time of the last event (0 for an empty trace)."""
+        return self._events[-1].time if self._events else 0.0
+
+    @property
+    def nodes(self) -> frozenset[NodeId]:
+        """All nodes appearing in the trace."""
+        return frozenset(event.node for event in self._events)
+
+    def mean_rate(self) -> float:
+        """Observed events per second over the trace span."""
+        if len(self._events) < 2 or self.duration == 0:
+            return float("nan")
+        return len(self._events) / self.duration
+
+    def clipped(self, start: float, end: float) -> "QueryTrace":
+        """Events with ``start <= time < end``, re-based to start at 0."""
+        return QueryTrace(
+            TraceEvent(event.time - start, event.node)
+            for event in self._events
+            if start <= event.time < end
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryTrace(events={len(self._events)}, "
+            f"duration={self.duration:.1f}s)"
+        )

@@ -1,0 +1,112 @@
+"""Model-based property tests for the TTL index cache.
+
+Hypothesis drives random interleavings of stores, lookups, invalidations,
+and time advances against a brutally simple reference model; the cache
+must agree with the model on every lookup.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.cache import IndexCache
+from repro.index.entry import IndexVersion
+
+
+class ReferenceCache:
+    """The obvious-by-inspection model: dict of (version, expiry)."""
+
+    def __init__(self):
+        self.entries = {}
+
+    def put(self, version, now):
+        current = self.entries.get(version.key)
+        if current is not None and now < current[1]:
+            if version.version < current[0].version:
+                return
+        self.entries[version.key] = (version, now + version.ttl)
+
+    def get(self, key, now):
+        entry = self.entries.get(key)
+        if entry is None:
+            return None
+        version, expires = entry
+        if now >= expires:
+            del self.entries[key]
+            return None
+        return version
+
+    def invalidate(self, key):
+        self.entries.pop(key, None)
+
+
+@st.composite
+def operation_sequences(draw):
+    count = draw(st.integers(1, 60))
+    operations = []
+    for _ in range(count):
+        kind = draw(st.sampled_from(["put", "get", "invalidate", "advance"]))
+        key = draw(st.integers(1, 3))
+        if kind == "put":
+            # A version's TTL is part of the version (immutable in the
+            # real system), so derive it from the version number.
+            number = draw(st.integers(0, 5))
+            operations.append(("put", key, number, 5.0 + 7.0 * number))
+        elif kind == "advance":
+            operations.append(("advance", draw(st.floats(0.0, 40.0))))
+        else:
+            operations.append((kind, key))
+    return operations
+
+
+class TestCacheAgainstModel:
+    @given(operation_sequences())
+    @settings(max_examples=300, deadline=None)
+    def test_lookups_agree_with_reference(self, operations):
+        cache = IndexCache()
+        model = ReferenceCache()
+        now = 0.0
+        for operation in operations:
+            if operation[0] == "put":
+                _, key, number, ttl = operation
+                version = IndexVersion(
+                    key=key, version=number, issued_at=now, ttl=ttl
+                )
+                cache.put(version, now)
+                model.put(version, now)
+            elif operation[0] == "advance":
+                now += operation[1]
+            elif operation[0] == "invalidate":
+                cache.invalidate(operation[1])
+                model.invalidate(operation[1])
+            else:  # get
+                key = operation[1]
+                ours = cache.get(key, now)
+                reference = model.get(key, now)
+                if reference is None:
+                    assert ours is None
+                else:
+                    assert ours is not None
+                    assert ours.version == reference.version
+
+    @given(operation_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_stats_are_consistent(self, operations):
+        cache = IndexCache()
+        now = 0.0
+        for operation in operations:
+            if operation[0] == "put":
+                _, key, number, ttl = operation
+                cache.put(
+                    IndexVersion(key=key, version=number, issued_at=now, ttl=ttl),
+                    now,
+                )
+            elif operation[0] == "advance":
+                now += operation[1]
+            elif operation[0] == "invalidate":
+                cache.invalidate(operation[1])
+            else:
+                cache.get(operation[1], now)
+        stats = cache.stats
+        assert stats.hits <= stats.lookups
+        assert len(cache) <= stats.stores
+        assert stats.evictions >= 0

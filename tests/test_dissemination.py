@@ -1,0 +1,218 @@
+"""Tests of the dissemination platform (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dissemination import DisseminationPlatform
+from repro.dissemination.platform import TopicError
+from repro.errors import NodeNotFoundError
+from repro.sim import Environment
+from repro.stats.distributions import Deterministic
+
+
+def make_platform(n=64, seed=3, env=None):
+    env = env or Environment()
+    platform = DisseminationPlatform(
+        env, num_nodes=n, seed=seed, hop_latency=Deterministic(0.01)
+    )
+    return env, platform
+
+
+def collect_deliveries(platform, nodes):
+    log = []
+    for node in nodes:
+        platform.on_delivery(node, log.append)
+    return log
+
+
+class TestTopics:
+    def test_create_topic_is_idempotent(self):
+        _, platform = make_platform()
+        first = platform.create_topic("news")
+        second = platform.create_topic("news")
+        assert first.authority == second.authority
+
+    def test_distinct_topics_get_distinct_authorities_usually(self):
+        _, platform = make_platform(n=64)
+        authorities = {
+            platform.create_topic(f"topic-{i}").authority for i in range(16)
+        }
+        assert len(authorities) > 4  # hashing spreads topics over the ring
+
+    def test_unknown_topic_rejected(self):
+        _, platform = make_platform()
+        with pytest.raises(TopicError):
+            platform.subscribe(platform.nodes[0], "nope")
+
+    def test_unknown_node_rejected(self):
+        _, platform = make_platform()
+        platform.create_topic("news")
+        with pytest.raises(NodeNotFoundError):
+            platform.subscribe(-1, "news")
+
+
+class TestDelivery:
+    def test_subscriber_receives_publication(self):
+        env, platform = make_platform()
+        platform.create_topic("news")
+        subscriber = platform.nodes[5]
+        publisher = platform.nodes[9]
+        log = collect_deliveries(platform, [subscriber])
+        platform.subscribe(subscriber, "news")
+        event_id = platform.publish(publisher, "news", {"headline": "hi"})
+        env.run()
+        assert len(log) == 1
+        delivery = log[0]
+        assert delivery.event_id == event_id
+        assert delivery.payload == {"headline": "hi"}
+        assert delivery.subscriber == subscriber
+        assert delivery.publisher == publisher
+        assert delivery.delay > 0
+
+    def test_every_subscriber_gets_every_event_once(self):
+        env, platform = make_platform(n=80)
+        platform.create_topic("news")
+        subscribers = list(platform.nodes[::7])
+        log = collect_deliveries(platform, subscribers)
+        for node in subscribers:
+            platform.subscribe(node, "news")
+        for index in range(5):
+            platform.publish(platform.nodes[1], "news", index)
+        env.run()
+        got = {(d.subscriber, d.payload) for d in log}
+        expected = {(s, i) for s in subscribers for i in range(5)}
+        # The authority may be among the subscribers; it sees everything.
+        assert got >= expected - {(None, None)}
+        assert len(log) == len(got)  # exactly-once
+
+    def test_non_subscribers_receive_nothing(self):
+        env, platform = make_platform()
+        platform.create_topic("news")
+        bystander = platform.nodes[3]
+        log = collect_deliveries(platform, [bystander])
+        platform.subscribe(platform.nodes[10], "news")
+        platform.publish(platform.nodes[11], "news", "x")
+        env.run()
+        assert log == []
+
+    def test_unsubscribe_stops_delivery(self):
+        env, platform = make_platform()
+        platform.create_topic("news")
+        node = platform.nodes[5]
+        log = collect_deliveries(platform, [node])
+        platform.subscribe(node, "news")
+        platform.publish(platform.nodes[8], "news", "first")
+        env.run()
+        platform.unsubscribe(node, "news")
+        platform.publish(platform.nodes[8], "news", "second")
+        env.run()
+        assert [d.payload for d in log] == ["first"]
+
+    def test_topics_are_isolated(self):
+        env, platform = make_platform()
+        platform.create_topic("sports")
+        platform.create_topic("weather")
+        node = platform.nodes[4]
+        log = collect_deliveries(platform, [node])
+        platform.subscribe(node, "sports")
+        platform.publish(platform.nodes[7], "weather", "rain")
+        platform.publish(platform.nodes[7], "sports", "goal")
+        env.run()
+        assert [d.payload for d in log] == ["goal"]
+
+    def test_subscribe_idempotent(self):
+        env, platform = make_platform()
+        platform.create_topic("news")
+        node = platform.nodes[5]
+        platform.subscribe(node, "news")
+        hops = platform.stats.control_hops
+        platform.subscribe(node, "news")
+        assert platform.stats.control_hops == hops
+
+    def test_publisher_can_also_subscribe(self):
+        env, platform = make_platform()
+        platform.create_topic("news")
+        node = platform.nodes[6]
+        log = collect_deliveries(platform, [node])
+        platform.subscribe(node, "news")
+        platform.publish(node, "news", "self")
+        env.run()
+        assert [d.payload for d in log] == ["self"]
+
+
+class TestCostModel:
+    def test_push_cost_tracks_dup_tree(self):
+        env, platform = make_platform(n=64)
+        platform.create_topic("news")
+        for node in platform.nodes[:8]:
+            platform.subscribe(node, "news")
+        handle = platform.topic("news")
+        expected = handle.dup_tree_edges()
+        before = platform.stats.push_hops
+        platform.publish(platform.nodes[20], "news", "x")
+        env.run()
+        assert platform.stats.push_hops - before == expected
+
+    def test_dup_beats_path_union_fanout(self):
+        # The SCRIBE comparison from the paper's related work: DUP skips
+        # intermediate relays, so its per-event fan-out cost is at most
+        # the path-union cost (and usually much lower for sparse groups).
+        env, platform = make_platform(n=128)
+        platform.create_topic("news")
+        rng = np.random.default_rng(5)
+        for node in rng.choice(platform.nodes, size=10, replace=False):
+            platform.subscribe(int(node), "news")
+        dup_cost, scribe_cost = platform.multicast_cost_bound("news")
+        assert dup_cost <= scribe_cost
+        assert dup_cost > 0
+
+    def test_publish_charges_route_to_authority(self):
+        env, platform = make_platform()
+        platform.create_topic("news")
+        handle = platform.topic("news")
+        publisher = next(
+            n for n in platform.nodes if n != handle.authority
+        )
+        depth = None
+        # depth of publisher in topic tree:
+        topic = platform._require_topic("news")
+        depth = topic.tree.depth(publisher)
+        before = platform.stats.publish_hops
+        platform.publish(publisher, "news", "x")
+        assert platform.stats.publish_hops - before == depth
+
+
+class TestPlatformProperties:
+    @given(
+        st.integers(8, 60),
+        st.integers(0, 2**31),
+        st.lists(st.integers(0, 2**31), min_size=1, max_size=25),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exactly_once_delivery_for_random_groups(
+        self, n, seed, subscription_seeds
+    ):
+        env = Environment()
+        platform = DisseminationPlatform(
+            env, num_nodes=n, seed=seed, hop_latency=Deterministic(0.001)
+        )
+        platform.create_topic("t")
+        log = collect_deliveries(platform, platform.nodes)
+        subscribed = set()
+        for sub_seed in subscription_seeds:
+            rng = np.random.default_rng(sub_seed)
+            node = int(rng.choice(platform.nodes))
+            if node in subscribed and rng.random() < 0.5:
+                platform.unsubscribe(node, "t")
+                subscribed.discard(node)
+            else:
+                platform.subscribe(node, "t")
+                subscribed.add(node)
+        platform.publish(platform.nodes[0], "t", "payload")
+        env.run()
+        delivered_to = [d.subscriber for d in log]
+        assert sorted(delivered_to) == sorted(subscribed)
+        assert len(set(delivered_to)) == len(delivered_to)
+        assert platform.stats.duplicate_suppressions == 0

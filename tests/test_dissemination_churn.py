@@ -1,0 +1,129 @@
+"""Tests of dissemination-platform membership churn."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dissemination import DisseminationPlatform
+from repro.dissemination.platform import TopicError
+from repro.errors import NodeNotFoundError
+from repro.sim import Environment
+from repro.stats.distributions import Deterministic
+
+
+def make_platform(n=64, seed=13):
+    env = Environment()
+    platform = DisseminationPlatform(
+        env, num_nodes=n, seed=seed, hop_latency=Deterministic(0.01)
+    )
+    return env, platform
+
+
+class TestDeparture:
+    def test_departed_subscriber_stops_receiving(self):
+        env, platform = make_platform()
+        platform.create_topic("t")
+        node = platform.nodes[5]
+        log = []
+        platform.on_delivery(node, log.append)
+        platform.subscribe(node, "t")
+        platform.publish(platform.nodes[9], "t", "before")
+        env.run()
+        platform.node_left(node)
+        platform.publish(platform.nodes[9], "t", "after")
+        env.run()
+        assert [d.payload for d in log] == ["before"]
+
+    def test_departed_node_rejected_from_api(self):
+        env, platform = make_platform()
+        platform.create_topic("t")
+        node = platform.nodes[3]
+        platform.node_left(node)
+        assert not platform.is_member(node)
+        with pytest.raises(NodeNotFoundError):
+            platform.subscribe(node, "t")
+        with pytest.raises(NodeNotFoundError):
+            platform.publish(node, "t", "x")
+
+    def test_authority_cannot_leave(self):
+        env, platform = make_platform()
+        handle = platform.create_topic("t")
+        with pytest.raises(TopicError):
+            platform.node_left(handle.authority)
+
+    def test_other_subscribers_survive_departure(self):
+        env, platform = make_platform(n=80)
+        platform.create_topic("t")
+        keep = [platform.nodes[7], platform.nodes[21], platform.nodes[40]]
+        handle = platform.create_topic("t")
+        goner = next(
+            n
+            for n in platform.nodes
+            if n not in keep and n != handle.authority
+        )
+        log = []
+        for node in keep:
+            platform.on_delivery(node, log.append)
+            platform.subscribe(node, "t")
+        platform.subscribe(goner, "t")
+        platform.node_left(goner)
+        platform.publish(keep[0], "t", "payload")
+        env.run()
+        assert sorted(d.subscriber for d in log) == sorted(keep)
+
+    def test_topics_created_after_departure_exclude_it(self):
+        env, platform = make_platform()
+        victim = platform.nodes[10]
+        platform.node_left(victim)
+        handle = platform.create_topic("fresh")
+        # The new topic's tree must not contain the departed node unless
+        # it happens to be the authority (excluded by construction).
+        assert victim not in platform._require_topic("fresh").tree or (
+            victim == handle.authority
+        )
+
+
+class TestChurnProperties:
+    @given(
+        st.integers(16, 48),
+        st.integers(0, 2**31),
+        st.lists(st.integers(0, 2**31), min_size=2, max_size=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_delivery_exactness_under_departures(
+        self, n, seed, operation_seeds
+    ):
+        env = Environment()
+        platform = DisseminationPlatform(
+            env, num_nodes=n, seed=seed, hop_latency=Deterministic(0.001)
+        )
+        handle = platform.create_topic("t")
+        log = []
+        for node in platform.nodes:
+            platform.on_delivery(node, log.append)
+        subscribed: set[int] = set()
+        members = set(platform.nodes)
+        for op_seed in operation_seeds:
+            rng = np.random.default_rng(op_seed)
+            candidates = sorted(members - {handle.authority})
+            if not candidates:
+                break
+            node = int(rng.choice(candidates))
+            action = rng.random()
+            if action < 0.5:
+                platform.subscribe(node, "t")
+                subscribed.add(node)
+            elif action < 0.8 or node not in members:
+                platform.unsubscribe(node, "t")
+                subscribed.discard(node)
+            elif len(members) > 4:
+                platform.node_left(node)
+                members.discard(node)
+                subscribed.discard(node)
+        log.clear()
+        publisher = handle.authority
+        platform.publish(publisher, "t", "final")
+        env.run()
+        delivered = sorted(d.subscriber for d in log)
+        assert delivered == sorted(subscribed)

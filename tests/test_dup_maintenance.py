@@ -1,0 +1,189 @@
+"""Tests of DUP's churn handling against the paper's Section III-C cases."""
+
+import pytest
+
+from repro.core import check_dup_invariants
+from repro.errors import TopologyError
+
+
+class TestNodeArrival:
+    def test_join_on_virtual_path_inherits_subscribers(self, driver):
+        # Paper: "suppose a new node N3' is inserted between N3 and N5...
+        # N3 notifies N3' that N6 is in its subscriber list."
+        driver.subscribe(6)
+        driver.subscribe(4)  # N3 is now a DUP-tree node listing {4, 6}
+        driver.join_edge(new=30, upper=3, lower=5)
+        assert driver.s_list(30) == {6}
+        # N3' is an intermediate node of the virtual path, not the tree.
+        assert not driver.protocol.in_dup_tree(30)
+        assert driver.push_recipients() == {3, 4, 6}
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_join_outside_virtual_paths_needs_nothing(self, driver):
+        # Paper: "If the arriving node falls outside of any virtual path,
+        # such as between N6 and N8, nothing specific needs to be done."
+        driver.subscribe(4)
+        hops_before = driver.control_hops
+        driver.join_edge(new=60, upper=6, lower=8)
+        assert driver.s_list(60) == set()
+        assert driver.control_hops == hops_before
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_join_leaf_is_free(self, driver):
+        driver.subscribe(6)
+        hops_before = driver.control_hops
+        driver.join_leaf(parent=4, new=40)
+        assert driver.control_hops == hops_before
+        assert 40 in driver.tree
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_joined_relay_keeps_flows_working(self, driver):
+        driver.subscribe(6)
+        driver.join_edge(new=30, upper=3, lower=5)
+        # A later unsubscribe from N6 must clear the extended path too.
+        driver.unsubscribe(6)
+        for node in (5, 30, 3, 2, 1):
+            assert driver.s_list(node) == set()
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+
+class TestNodeDeparture:
+    def test_end_node_clears_its_path(self, driver):
+        # Paper: "The only exception is when the leaving node is the end
+        # node of a virtual path, e.g., N6: it sends unsubscribe(N6)."
+        driver.subscribe(6)
+        driver.leave(6)
+        assert 6 not in driver.tree
+        for node in (5, 3, 2, 1):
+            assert driver.s_list(node) == set()
+        assert driver.push_recipients() == set()
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_relay_departure_hands_over_silently(self, driver):
+        # N5 is a pure relay on N6's virtual path; its parent N3 already
+        # lists N6, so the handover changes nothing upstream.
+        driver.subscribe(6)
+        driver.leave(5)
+        assert 5 not in driver.tree
+        assert driver.tree.parent(6) == 3
+        assert driver.s_list(3) == {6}
+        assert driver.push_recipients() == {6}
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_tree_node_departure_corrects_upstream(self, driver):
+        # N3 (DUP-tree node listing {4, 6}) leaves; N2 absorbs its role
+        # and becomes a tree node itself.
+        driver.subscribe(6)
+        driver.subscribe(4)
+        driver.leave(3)
+        assert 3 not in driver.tree
+        assert driver.s_list(2) == {4, 6}
+        assert driver.s_list(1) == {2}
+        assert driver.push_recipients() == {2, 4, 6}
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_subscribed_tree_node_departure(self, driver):
+        # N6 subscribed and forwarding for N7: S_6 = {6, 7}.  When N6
+        # leaves, N5 takes over pushing to N7.
+        driver.subscribe(6)
+        driver.subscribe(7)
+        driver.leave(6)
+        assert 6 not in driver.tree
+        assert driver.tree.parent(7) == 5
+        assert driver.s_list(5) == {7}
+        assert driver.push_recipients() == {7}
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_uninvolved_departure_is_free(self, driver):
+        # Paper: "No specific action needs to be taken if a leaving node
+        # does not belong to any virtual path."
+        driver.subscribe(4)
+        hops_before = driver.control_hops
+        driver.leave(7)
+        assert driver.control_hops == hops_before
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_root_cannot_leave_via_node_left(self, driver):
+        with pytest.raises(TopologyError):
+            driver.leave(1)
+
+
+class TestNodeFailure:
+    def test_case1_uninvolved_failure(self, driver):
+        driver.subscribe(4)
+        hops_before = driver.control_hops
+        driver.fail(8)
+        assert driver.control_hops == hops_before
+        assert driver.push_recipients() == {4}
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_case2_end_node_failure(self, driver):
+        # Paper case 2: the failed node is the last node of a virtual
+        # path (N6); N5 detects it and unsubscribes N6 upstream.
+        driver.subscribe(6)
+        driver.fail(6)
+        assert 6 not in driver.tree
+        for node in (5, 3, 2, 1):
+            assert driver.s_list(node) == set()
+        assert driver.push_recipients() == set()
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_case3_relay_failure_repaired_by_downstream(self, driver):
+        # Paper case 3: N5 (inside N6's virtual path) fails; N6 repairs
+        # by re-subscribing upward.
+        driver.subscribe(6)
+        driver.fail(5)
+        assert driver.tree.parent(6) == 3
+        assert driver.s_list(3) == {6}
+        assert driver.push_recipients() == {6}
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_case4_tree_node_failure_repaired_by_subscribers(self, driver):
+        # Paper case 4: N3 (DUP-tree node with subscribers N4, N6) fails;
+        # both send subscribes to the node that replaces it (N2 absorbs).
+        driver.subscribe(6)
+        driver.subscribe(4)
+        driver.fail(3)
+        assert 3 not in driver.tree
+        assert driver.s_list(2) == {4, 6}
+        assert driver.push_recipients() == {2, 4, 6}
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_case5_root_failure(self, driver):
+        # Paper case 5: the root fails; N2 informs the new root that it
+        # should push to the branch representative.
+        driver.subscribe(6)
+        driver.subscribe(4)
+        driver.fail_root(new_root=100)
+        assert driver.tree.root == 100
+        assert driver.s_list(100) == {3}
+        assert driver.push_recipients() == {3, 4, 6}
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_failure_of_subscribed_interior_node(self, driver):
+        # N6 subscribed and forwarding for N7 and N8 fails: both orphans
+        # re-subscribe through the repaired topology.
+        driver.subscribe(6)
+        driver.subscribe(7)
+        driver.subscribe(8)
+        driver.fail(6)
+        # N5 absorbs N6's position; the orphans' refresh-subscribes make
+        # it the new junction forwarding to both.
+        assert driver.s_list(5) == {7, 8}
+        assert driver.push_recipients() >= {7, 8}
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_root_failure_with_no_subscribers(self, driver):
+        driver.fail_root(new_root=100)
+        assert driver.tree.root == 100
+        assert driver.push_recipients() == set()
+        check_dup_invariants(driver.protocol, driver.tree, driver.interested)
+
+    def test_failed_node_state_is_lost(self, driver):
+        driver.subscribe(6)
+        driver.fail(5)
+        assert len(driver.protocol.s_list(5)) == 0
+
+    def test_root_cannot_fail_via_node_failed(self, driver):
+        with pytest.raises(TopologyError):
+            driver.fail(1)

@@ -1,0 +1,201 @@
+"""Tests of the configuration, simulation engine, and runners."""
+
+import math
+
+import pytest
+
+from repro.engine import (
+    Simulation,
+    SimulationConfig,
+    compare_schemes,
+    run_replications,
+    run_simulation,
+)
+from repro.engine.runner import sweep
+from repro.errors import ConfigError, ExperimentError
+from repro.workload import ChurnConfig
+
+
+def small(**overrides):
+    defaults = dict(
+        num_nodes=64,
+        duration=7500.0,
+        warmup=3600.0,
+        query_rate=0.5,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestConfig:
+    def test_paper_defaults_match_table1(self):
+        config = SimulationConfig.paper_defaults()
+        assert config.num_nodes == 4096
+        assert config.max_degree == 4
+        assert config.threshold_c == 6
+        assert config.ttl == 3600.0
+        assert config.push_lead == 60.0
+        assert config.hop_latency_mean == 0.1
+        assert config.duration >= 180_000.0
+
+    def test_replace_keeps_validation(self):
+        config = small()
+        with pytest.raises(ConfigError):
+            config.replace(query_rate=-1.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_nodes", 1),
+            ("max_degree", 0),
+            ("query_rate", 0.0),
+            ("arrival", "weibull"),
+            ("zipf_theta", -0.5),
+            ("threshold_c", -1),
+            ("ttl", 0.0),
+            ("push_lead", 3600.0),
+            ("hop_latency_mean", 0.0),
+            ("topology", "mesh"),
+            ("interest_policy", "magic"),
+            ("warmup", -1.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            small(**{field: value})
+
+    def test_duration_must_exceed_warmup(self):
+        with pytest.raises(ConfigError):
+            small(duration=100.0, warmup=200.0)
+
+    def test_pareto_needs_alpha_above_one(self):
+        with pytest.raises(ConfigError):
+            small(arrival="pareto", pareto_alpha=1.0)
+
+    def test_describe_mentions_scheme(self):
+        assert "dup" in small(scheme="dup").describe()
+
+    def test_benchmark_scale_overridable(self):
+        config = SimulationConfig.benchmark_scale(num_nodes=128)
+        assert config.num_nodes == 128
+
+
+class TestSimulation:
+    def test_result_fields_populated(self):
+        result = run_simulation(small(scheme="pcx"))
+        assert result.scheme == "pcx"
+        assert result.queries > 0
+        assert result.mean_latency >= 0
+        assert result.cost_per_query >= 0
+        assert 0 <= result.hit_rate <= 1
+        assert result.latency_ci is not None
+        assert result.final_population == 64
+        assert result.wall_seconds > 0
+
+    def test_same_seed_is_deterministic(self):
+        first = run_simulation(small(scheme="dup"))
+        second = run_simulation(small(scheme="dup"))
+        assert first.mean_latency == second.mean_latency
+        assert first.cost_per_query == second.cost_per_query
+        assert first.hop_breakdown == second.hop_breakdown
+
+    def test_different_seeds_differ(self):
+        first = run_simulation(small(scheme="pcx", seed=1))
+        second = run_simulation(small(scheme="pcx", seed=2))
+        assert first.mean_latency != second.mean_latency
+
+    def test_simulation_runs_once(self):
+        sim = Simulation(small())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_chord_topology_runs(self):
+        result = run_simulation(small(scheme="dup", topology="chord"))
+        assert result.queries > 0
+
+    def test_root_never_queries_by_default(self):
+        sim = Simulation(small(scheme="pcx"))
+        root = sim.tree.root
+        assert root not in sim.selector.hottest(len(sim.selector))
+
+    def test_warmup_gates_metrics(self):
+        # With warmup == duration - epsilon, almost nothing is recorded.
+        gated = run_simulation(
+            small(scheme="pcx", duration=7500.0, warmup=7400.0)
+        )
+        ungated = run_simulation(
+            small(scheme="pcx", duration=7500.0, warmup=0.0)
+        )
+        assert gated.queries < ungated.queries
+
+    def test_dup_extras_reported(self):
+        result = run_simulation(small(scheme="dup", query_rate=2.0))
+        assert "subscribed" in result.extras
+        assert "dup_tree_size" in result.extras
+
+    def test_ewma_policy_runs(self):
+        result = run_simulation(
+            small(scheme="dup", interest_policy="ewma", query_rate=2.0)
+        )
+        assert result.queries > 0
+
+    def test_churn_simulation_survives(self):
+        churn = ChurnConfig(join_rate=0.01, leave_rate=0.005, fail_rate=0.005)
+        result = run_simulation(small(scheme="dup", churn=churn))
+        assert result.queries > 0
+        assert result.final_population > 8
+
+    def test_churn_changes_population(self):
+        churn = ChurnConfig(join_rate=0.02)
+        result = run_simulation(small(scheme="pcx", churn=churn))
+        assert result.final_population > 64
+
+    def test_all_schemes_run_under_churn(self):
+        churn = ChurnConfig(join_rate=0.01, leave_rate=0.008, fail_rate=0.008)
+        for scheme in ("pcx", "cup", "cup-ideal", "dup", "push-all"):
+            result = run_simulation(small(scheme=scheme, churn=churn))
+            assert result.queries > 0, scheme
+
+
+class TestRunners:
+    def test_replications_aggregate(self):
+        aggregated = run_replications(small(scheme="pcx"), replications=3)
+        assert len(aggregated.runs) == 3
+        assert aggregated.latency.count == 3
+        assert not math.isnan(aggregated.latency.half_width)
+
+    def test_replications_require_positive_count(self):
+        with pytest.raises(ExperimentError):
+            run_replications(small(), replications=0)
+
+    def test_compare_schemes_pairs_seeds(self):
+        comparison = compare_schemes(
+            small(), schemes=("pcx", "dup"), replications=2
+        )
+        assert set(comparison.schemes) == {"pcx", "dup"}
+        # PCX relative to itself is exactly 1 on every seed.
+        assert comparison.relative_cost["pcx"].mean == pytest.approx(1.0)
+        assert comparison.relative_cost["pcx"].half_width == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_compare_runs_baseline_even_if_not_listed(self):
+        comparison = compare_schemes(
+            small(), schemes=("dup",), replications=1
+        )
+        assert "dup" in comparison.relative_cost
+        assert "pcx" not in comparison.by_scheme
+
+    def test_sweep_returns_per_value_results(self):
+        results = sweep(
+            small(),
+            "query_rate",
+            [0.5, 1.0],
+            schemes=("pcx", "dup"),
+            replications=1,
+        )
+        assert set(results) == {0.5, 1.0}
+        for comparison in results.values():
+            assert "dup" in comparison.relative_cost

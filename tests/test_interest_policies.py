@@ -1,0 +1,131 @@
+"""Unit tests for the interest measurement policies."""
+
+import pytest
+
+from repro.analysis.interest_model import predicted_dup_relative_push_cost
+from repro.core.interest import EwmaInterestPolicy, WindowInterestPolicy
+from repro.errors import ConfigError
+
+
+class TestWindowPolicy:
+    def test_threshold_is_strict(self):
+        # "greater than a threshold value c" — exactly c is not enough.
+        policy = WindowInterestPolicy(window=100.0, threshold=3)
+        for t in (1.0, 2.0, 3.0):
+            policy.record(t)
+        assert not policy.is_interested(4.0)
+        policy.record(4.0)
+        assert policy.is_interested(5.0)
+
+    def test_window_expiry(self):
+        policy = WindowInterestPolicy(window=10.0, threshold=1)
+        policy.record(0.0)
+        policy.record(1.0)
+        assert policy.is_interested(5.0)
+        # At t=10.5 the arrival at t=0 left the window; count drops to 1.
+        assert not policy.is_interested(10.5)
+        assert policy.count(10.5) == 1
+        # At t=11.5 both arrivals are gone.
+        assert policy.count(11.5) == 0
+
+    def test_boundary_is_half_open(self):
+        policy = WindowInterestPolicy(window=10.0, threshold=0)
+        policy.record(0.0)
+        assert policy.count(10.0) == 0  # arrival exactly window-old: gone
+        policy2 = WindowInterestPolicy(window=10.0, threshold=0)
+        policy2.record(0.1)
+        assert policy2.count(10.0) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            WindowInterestPolicy(window=0.0, threshold=1)
+        with pytest.raises(ConfigError):
+            WindowInterestPolicy(window=10.0, threshold=-1)
+
+    def test_zero_threshold(self):
+        policy = WindowInterestPolicy(window=10.0, threshold=0)
+        assert not policy.is_interested(0.0)
+        policy.record(0.0)
+        assert policy.is_interested(1.0)
+
+
+class TestEwmaPolicy:
+    def test_burst_triggers_interest(self):
+        policy = EwmaInterestPolicy(window=3600.0, threshold=6)
+        for t in range(10):
+            policy.record(float(t))
+        assert policy.is_interested(10.0)
+
+    def test_decay_removes_interest(self):
+        policy = EwmaInterestPolicy(
+            window=3600.0, threshold=6, half_life=600.0
+        )
+        for t in range(10):
+            policy.record(float(t))
+        assert policy.is_interested(10.0)
+        # Many half-lives later the estimate has collapsed.
+        assert not policy.is_interested(10.0 + 20 * 600.0)
+
+    def test_faster_half_life_reacts_faster_to_bursts(self):
+        # The EWMA attributes a burst to roughly its half-life window, so
+        # a short half-life sees a small burst as a high rate while a
+        # long one dilutes it below the threshold.
+        slow = EwmaInterestPolicy(3600.0, 6, half_life=3600.0)
+        fast = EwmaInterestPolicy(3600.0, 6, half_life=300.0)
+        for t in range(4):
+            slow.record(float(t))
+            fast.record(float(t))
+        assert fast.is_interested(5.0)
+        assert not slow.is_interested(5.0)
+        # ...and it also forgets the burst within a few half-lives.
+        assert not fast.is_interested(5.0 + 10 * 300.0)
+
+    def test_sustained_rate_above_threshold(self):
+        # ~12 arrivals per window with threshold 6: steadily interested.
+        policy = EwmaInterestPolicy(window=3600.0, threshold=6)
+        t = 0.0
+        for _ in range(50):
+            t += 300.0
+            policy.record(t)
+        assert policy.is_interested(t + 1.0)
+
+    def test_sustained_rate_below_threshold(self):
+        # ~2 arrivals per window with threshold 6: never interested.
+        policy = EwmaInterestPolicy(window=3600.0, threshold=6)
+        t = 0.0
+        for _ in range(50):
+            t += 1800.0
+            policy.record(t)
+        assert not policy.is_interested(t + 1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            EwmaInterestPolicy(window=0.0, threshold=1)
+        with pytest.raises(ConfigError):
+            EwmaInterestPolicy(window=10.0, threshold=-1)
+        with pytest.raises(ConfigError):
+            EwmaInterestPolicy(window=10.0, threshold=1, half_life=0.0)
+
+    def test_time_never_runs_backwards_internally(self):
+        policy = EwmaInterestPolicy(window=100.0, threshold=1)
+        policy.record(10.0)
+        # Probing the past must not corrupt the estimate.
+        policy.is_interested(5.0)
+        policy.record(11.0)
+        assert policy.is_interested(11.5)
+
+
+class TestEnvelopeHelper:
+    def test_figure2_depth_four(self):
+        # Depth 4 gives 1.5/(2*4) = 18.75%; the paper's single-subscriber
+        # example (no junctions) reaches 12.5%.
+        ratio = predicted_dup_relative_push_cost(
+            interested=100, mean_depth=4.0
+        )
+        assert ratio == pytest.approx(0.1875)
+
+    def test_degenerate_inputs(self):
+        import math
+
+        assert math.isnan(predicted_dup_relative_push_cost(0, 4.0))
+        assert math.isnan(predicted_dup_relative_push_cost(10, 0.0))

@@ -1,0 +1,171 @@
+"""Tests of the time-series monitor and its engine integration."""
+
+import math
+
+import pytest
+
+from repro.engine import Simulation, SimulationConfig
+from repro.errors import ConfigError
+from repro.sim import Environment
+from repro.sim.monitor import Monitor, Series
+
+
+class TestSeries:
+    def test_append_and_iterate(self):
+        series = Series("x")
+        series.append(1.0, 10.0)
+        series.append(2.0, 20.0)
+        assert series.times == (1.0, 2.0)
+        assert series.values == (10.0, 20.0)
+        assert len(series) == 2
+        samples = list(series)
+        assert samples[0].time == 1.0
+        assert samples[1].value == 20.0
+
+    def test_time_ordering_enforced(self):
+        series = Series("x")
+        series.append(5.0, 1.0)
+        with pytest.raises(ConfigError):
+            series.append(4.0, 1.0)
+
+    def test_last_and_summaries(self):
+        series = Series("x")
+        assert series.last is None
+        assert math.isnan(series.mean())
+        series.append(0.0, 2.0)
+        series.append(1.0, 4.0)
+        assert series.last.value == 4.0
+        assert series.mean() == pytest.approx(3.0)
+        assert series.minimum() == 2.0
+        assert series.maximum() == 4.0
+
+    def test_window(self):
+        series = Series("x")
+        for t in range(10):
+            series.append(float(t), float(t))
+        clipped = series.window(3.0, 6.0)
+        assert clipped.times == (3.0, 4.0, 5.0, 6.0)
+
+    def test_stability_detection(self):
+        stable = Series("s")
+        for t in range(20):
+            stable.append(float(t), 100.0 + (t % 2))
+        assert stable.is_stable(tolerance=0.05)
+        ramp = Series("r")
+        for t in range(20):
+            ramp.append(float(t), float(t) * 10)
+        assert not ramp.is_stable(tolerance=0.05)
+
+    def test_stability_needs_samples(self):
+        series = Series("x")
+        series.append(0.0, 1.0)
+        assert not series.is_stable()
+
+
+class TestMonitor:
+    def test_samples_on_cadence(self):
+        env = Environment()
+        monitor = Monitor(env, interval=10.0)
+        series = monitor.probe("clock", lambda: env.now)
+        env.run(until=35.0)
+        assert series.times == (10.0, 20.0, 30.0)
+        assert series.values == (10.0, 20.0, 30.0)
+
+    def test_start_at(self):
+        env = Environment()
+        monitor = Monitor(env, interval=10.0, start_at=5.0)
+        series = monitor.probe("x", lambda: 1.0)
+        env.run(until=26.0)
+        assert series.times == (5.0, 15.0, 25.0)
+
+    def test_multiple_probes_share_cadence(self):
+        env = Environment()
+        monitor = Monitor(env, interval=10.0)
+        ones = monitor.probe("one", lambda: 1.0)
+        twos = monitor.probe("two", lambda: 2.0)
+        env.run(until=21.0)
+        assert len(ones) == len(twos) == 2
+        assert monitor.names == ("one", "two")
+
+    def test_duplicate_probe_rejected(self):
+        monitor = Monitor(Environment(), interval=1.0)
+        monitor.probe("x", lambda: 0.0)
+        with pytest.raises(ConfigError):
+            monitor.probe("x", lambda: 0.0)
+
+    def test_unknown_series_rejected(self):
+        with pytest.raises(ConfigError):
+            Monitor(Environment(), interval=1.0).series("nope")
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigError):
+            Monitor(Environment(), interval=0.0)
+
+    def test_sample_now(self):
+        env = Environment()
+        monitor = Monitor(env, interval=100.0)
+        series = monitor.probe("x", lambda: 42.0)
+        monitor.sample_now()
+        assert series.values == (42.0,)
+
+
+class TestEngineIntegration:
+    def test_probe_observes_simulation(self):
+        config = SimulationConfig(
+            scheme="dup",
+            num_nodes=64,
+            query_rate=2.0,
+            duration=3600.0 * 4,
+            warmup=3600.0,
+            seed=5,
+        )
+        sim = Simulation(config)
+        series = sim.add_probe(
+            "subscribed",
+            lambda: float(len(sim.scheme.subscribed_nodes())),
+            interval=1800.0,
+        )
+        sim.run()
+        assert len(series) >= 6
+        # Subscribers appear once interest accumulates.
+        assert series.maximum() > 0
+
+    def test_standard_probes(self):
+        config = SimulationConfig(
+            scheme="dup",
+            num_nodes=64,
+            query_rate=2.0,
+            duration=3600.0 * 3,
+            warmup=3600.0,
+            seed=6,
+        )
+        sim = Simulation(config)
+        probes = sim.add_standard_probes(interval=1800.0)
+        sim.run()
+        assert {"hit_rate", "mean_latency", "population", "subscribed",
+                "dup_tree_size"} <= set(probes)
+        assert probes["population"].last.value == 64.0
+        assert 0 <= probes["hit_rate"].last.value <= 1
+
+    def test_subscriber_count_stabilizes(self):
+        # After warm-up the interested set under a stationary workload
+        # settles into a band (flapping only at the threshold boundary).
+        config = SimulationConfig(
+            scheme="dup",
+            num_nodes=128,
+            query_rate=5.0,
+            duration=3600.0 * 8,
+            warmup=3600.0,
+            seed=7,
+        )
+        sim = Simulation(config)
+        series = sim.add_probe(
+            "subscribed",
+            lambda: float(len(sim.scheme.subscribed_nodes())),
+            interval=900.0,
+        )
+        sim.run()
+        tail = series.window(3600.0 * 4, 3600.0 * 8)
+        assert tail.minimum() > 0
+        spread = (tail.maximum() - tail.minimum()) / max(tail.mean(), 1.0)
+        assert spread < 0.6

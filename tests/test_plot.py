@@ -1,0 +1,81 @@
+"""Tests of the ASCII plotting helper."""
+
+import pytest
+
+from repro.experiments.plot import ascii_plot, plot_experiment_series
+
+
+class TestAsciiPlot:
+    def test_renders_axes_and_legend(self):
+        chart = ascii_plot(
+            {"up": [(0.0, 0.0), (1.0, 1.0)], "down": [(0.0, 1.0), (1.0, 0.0)]},
+            width=20,
+            height=6,
+            x_label="t",
+            y_label="v",
+        )
+        assert "o=up" in chart
+        assert "x=down" in chart
+        assert "t from 0 to 1" in chart
+        assert "|" in chart and "+" in chart
+
+    def test_points_land_on_canvas_extremes(self):
+        chart = ascii_plot({"s": [(0.0, 0.0), (10.0, 5.0)]}, width=10, height=5)
+        lines = chart.splitlines()
+        assert lines[0].endswith("o")  # max y, max x at top-right
+        # bottom row holds the minimum point at the left edge
+        assert "o" in lines[4]
+
+    def test_log_x(self):
+        chart = ascii_plot(
+            {"s": [(0.1, 1.0), (1.0, 2.0), (10.0, 3.0)]},
+            width=21,
+            height=5,
+            log_x=True,
+        )
+        assert "log scale" in chart
+        # On a log axis, 1.0 sits exactly between 0.1 and 10.
+        middle_rows = chart.splitlines()
+        column_of = {}
+        for row in middle_rows[:5]:
+            body = row.split("|", 1)[-1]
+            if "o" in body:
+                column_of[row] = body.index("o")
+        assert len(column_of) == 3
+
+    def test_log_x_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(0.0, 1.0)]}, log_x=True)
+
+    def test_empty_series(self):
+        assert ascii_plot({}) == "(no data)"
+        assert ascii_plot({"s": []}) == "(no data)"
+
+    def test_flat_series_has_padding(self):
+        chart = ascii_plot({"s": [(0.0, 5.0), (1.0, 5.0)]}, width=10, height=4)
+        assert "5.5" in chart and "4.5" in chart
+
+
+class TestPlotExperimentSeries:
+    def test_from_rows(self):
+        rows = [
+            {"x": 1.0, "a": 2.0, "b": 3.0},
+            {"x": 2.0, "a": 1.0, "b": 4.0},
+        ]
+        chart = plot_experiment_series(rows, "x", ["a", "b"])
+        assert "o=a" in chart
+        assert "x=b" in chart
+
+    def test_skips_missing_and_nan_cells(self):
+        rows = [
+            {"x": 1.0, "a": 2.0},
+            {"x": 2.0, "a": float("nan")},
+            {"x": 3.0},
+        ]
+        chart = plot_experiment_series(rows, "x", ["a"])
+        canvas_glyphs = sum(
+            line.split("|", 1)[1].count("o")
+            for line in chart.splitlines()
+            if "|" in line
+        )
+        assert canvas_glyphs == 1

@@ -1,0 +1,163 @@
+"""Tests for result containers, reports, and the RNG substrate."""
+
+import math
+
+import pytest
+
+from repro.engine import SimulationConfig
+from repro.engine.results import ReplicatedResult, SimulationResult
+from repro.errors import (
+    CacheError,
+    ConfigError,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SubscriptionError,
+    TopologyError,
+    WorkloadError,
+)
+from repro.metrics.report import MetricsReport
+from repro.sim import RandomStreams
+from repro.sim.rng import _stable_hash
+from repro.stats.confidence import ConfidenceInterval
+
+
+def fake_result(scheme="pcx", latency=1.0, cost=2.0, seed=1):
+    config = SimulationConfig(
+        num_nodes=8, duration=7300.0, warmup=3600.0, seed=seed
+    )
+    return SimulationResult(
+        config=config,
+        scheme=scheme,
+        queries=100,
+        mean_latency=latency,
+        latency_ci=ConfidenceInterval(latency, 0.1, 0.95, 100),
+        cost_per_query=cost,
+        hit_rate=0.5,
+        hop_breakdown={"query": 50, "reply": 50},
+        dropped_messages=0,
+        incomplete_queries=0,
+        final_population=8,
+        wall_seconds=0.01,
+    )
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            SimulationError,
+            SchedulingError,
+            ConfigError,
+            TopologyError,
+            ProtocolError,
+            SubscriptionError,
+            CacheError,
+            WorkloadError,
+        ],
+    )
+    def test_all_errors_are_repro_errors(self, error):
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("boom")
+
+    def test_subscription_is_protocol_error(self):
+        assert issubclass(SubscriptionError, ProtocolError)
+
+    def test_scheduling_is_simulation_error(self):
+        assert issubclass(SchedulingError, SimulationError)
+
+
+class TestSimulationResult:
+    def test_report_view(self):
+        result = fake_result()
+        report = result.report
+        assert isinstance(report, MetricsReport)
+        assert report.scheme == "pcx"
+        assert report.mean_latency == 1.0
+        assert "pcx" in str(result)
+
+    def test_report_without_ci(self):
+        result = fake_result()
+        stripped = SimulationResult(
+            **{
+                **result.__dict__,
+                "latency_ci": None,
+            }
+        )
+        report = stripped.report
+        assert math.isnan(report.latency_ci.half_width)
+
+    def test_report_row_flattening(self):
+        row = fake_result().report.to_row()
+        assert row["scheme"] == "pcx"
+        assert row["hops_query"] == 50
+        assert "latency_ci" in row
+
+
+class TestReplicatedResult:
+    def test_aggregation(self):
+        runs = [fake_result(latency=1.0), fake_result(latency=3.0, seed=2)]
+        aggregated = ReplicatedResult.from_runs(runs)
+        assert aggregated.latency.mean == pytest.approx(2.0)
+        assert aggregated.cost.mean == pytest.approx(2.0)
+        assert aggregated.hit_rate == pytest.approx(0.5)
+        assert "pcx" in str(aggregated)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedResult.from_runs([])
+
+
+class TestMetricsReport:
+    def test_str_contains_key_fields(self):
+        report = fake_result().report
+        text = str(report)
+        assert "latency=1" in text
+        assert "cost=2" in text
+        assert "query=50" in text
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RandomStreams(1)
+        assert streams.get("a") is streams.get("a")
+
+    def test_reproducible_across_instances(self):
+        first = RandomStreams(7).get("arrivals").random(5)
+        second = RandomStreams(7).get("arrivals").random(5)
+        assert list(first) == list(second)
+
+    def test_streams_independent(self):
+        streams = RandomStreams(7)
+        a = streams.get("a").random(5)
+        b = streams.get("b").random(5)
+        assert list(a) != list(b)
+
+    def test_consuming_one_stream_does_not_shift_another(self):
+        baseline = RandomStreams(3)
+        baseline.get("x")  # never drawn from
+        expected = list(baseline.get("y").random(3))
+
+        shifted = RandomStreams(3)
+        shifted.get("x").random(1000)  # heavy use of the sibling
+        observed = list(shifted.get("y").random(3))
+        assert observed == expected
+
+    def test_spawn_offsets_seed(self):
+        parent = RandomStreams(10)
+        child = parent.spawn(5)
+        assert child.seed == 15
+        assert list(child.get("a").random(3)) == list(
+            RandomStreams(15).get("a").random(3)
+        )
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomStreams("abc")
+
+    def test_stable_hash_is_deterministic_and_distinct(self):
+        assert _stable_hash("arrivals") == _stable_hash("arrivals")
+        assert _stable_hash("arrivals") != _stable_hash("topology")
+        assert 0 <= _stable_hash("x") < 2**63 - 1

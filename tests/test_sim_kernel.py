@@ -1,0 +1,376 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import ProcessError, SchedulingError, SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+class TestEnvironmentBasics:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_clock_starts_at_initial_time(self):
+        assert Environment(initial_time=5.5).now == 5.5
+
+    def test_run_without_events_returns_none(self):
+        env = Environment()
+        assert env.run() is None
+
+    def test_run_until_time_advances_clock(self):
+        env = Environment()
+        env.run(until=42.0)
+        assert env.now == 42.0
+
+    def test_run_until_past_time_raises(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(SchedulingError):
+            env.run(until=5.0)
+
+    def test_step_without_events_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek_empty_queue_is_infinite(self):
+        assert Environment().peek() == float("inf")
+
+
+class TestTimeout:
+    def test_timeout_advances_time(self):
+        env = Environment()
+        env.timeout(3.0)
+        env.run()
+        assert env.now == 3.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SchedulingError):
+            env.timeout(-1.0)
+
+    def test_zero_delay_fires_immediately(self):
+        env = Environment()
+        fired = []
+        timeout = env.timeout(0.0, value="go")
+        timeout.callbacks.append(lambda e: fired.append(e.value))
+        env.run()
+        assert fired == ["go"]
+
+    def test_timeouts_fire_in_time_order(self):
+        env = Environment()
+        order = []
+        for delay in (5.0, 1.0, 3.0):
+            timeout = env.timeout(delay, value=delay)
+            timeout.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == [1.0, 3.0, 5.0]
+
+    def test_ties_fire_in_scheduling_order(self):
+        env = Environment()
+        order = []
+        for tag in ("a", "b", "c"):
+            timeout = env.timeout(1.0, value=tag)
+            timeout.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestCallLater:
+    def test_call_later_invokes_function(self):
+        env = Environment()
+        calls = []
+        env.call_later(2.0, calls.append, "hello")
+        env.run()
+        assert calls == ["hello"]
+        assert env.now == 2.0
+
+    def test_call_later_passes_multiple_args(self):
+        env = Environment()
+        calls = []
+        env.call_later(1.0, lambda a, b: calls.append(a + b), 2, 3)
+        env.run()
+        assert calls == [5]
+
+
+class TestProcesses:
+    def test_process_runs_to_completion(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield env.timeout(1.0)
+            log.append(env.now)
+            yield env.timeout(2.0)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [1.0, 3.0]
+
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        process = env.process(proc(env))
+        assert env.run(until=process) == "done"
+
+    def test_timeout_value_is_sent_into_process(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            value = yield env.timeout(1.0, value="payload")
+            got.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["payload"]
+
+    def test_process_waits_on_other_process(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(5.0)
+            return 99
+
+        def waiter(env, child):
+            result = yield child
+            return result + 1
+
+        child = env.process(worker(env))
+        parent = env.process(waiter(env, child))
+        assert env.run(until=parent) == 100
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(ProcessError):
+            env.process(lambda: None)
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(ProcessError):
+            env.run()
+
+    def test_exception_in_process_propagates(self):
+        env = Environment()
+
+        def boom(env):
+            yield env.timeout(1.0)
+            raise ValueError("bang")
+
+        env.process(boom(env))
+        with pytest.raises(ValueError, match="bang"):
+            env.run()
+
+    def test_is_alive_lifecycle(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        process = env.process(proc(env))
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        caught = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                caught.append((env.now, interrupt.cause))
+
+        def interrupter(env, target):
+            yield env.timeout(1.0)
+            target.interrupt("wake up")
+
+        target = env.process(sleeper(env))
+        env.process(interrupter(env, target))
+        env.run()
+        assert caught == [(1.0, "wake up")]
+
+    def test_interrupting_dead_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.0)
+
+        process = env.process(quick(env))
+        env.run()
+        with pytest.raises(SchedulingError):
+            process.interrupt()
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+        def interrupter(env, target):
+            yield env.timeout(2.0)
+            target.interrupt()
+
+        target = env.process(sleeper(env))
+        env.process(interrupter(env, target))
+        env.run()
+        assert log == [3.0]
+
+
+class TestEvents:
+    def test_manual_succeed(self):
+        env = Environment()
+        event = env.event()
+        results = []
+
+        def waiter(env, ev):
+            value = yield ev
+            results.append(value)
+
+        env.process(waiter(env, event))
+        event.succeed("v")
+        env.run()
+        assert results == ["v"]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SchedulingError):
+            event.succeed(2)
+
+    def test_fail_propagates_to_waiter(self):
+        env = Environment()
+        event = env.event()
+
+        def waiter(env, ev):
+            yield ev
+
+        env.process(waiter(env, event))
+        event.fail(RuntimeError("nope"))
+        with pytest.raises(RuntimeError, match="nope"):
+            env.run()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_waiting_on_processed_event_resumes_immediately(self):
+        env = Environment()
+        results = []
+        first = env.timeout(1.0, value="early")
+
+        def late_waiter(env, ev):
+            yield env.timeout(5.0)
+            value = yield ev  # already processed
+            results.append((env.now, value))
+
+        env.process(late_waiter(env, first))
+        env.run()
+        assert results == [(5.0, "early")]
+
+
+class TestConditions:
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        results = []
+
+        def waiter(env):
+            got = yield AnyOf(env, [env.timeout(5.0, "slow"), env.timeout(1.0, "fast")])
+            results.append((env.now, sorted(got.values())))
+
+        env.process(waiter(env))
+        env.run()
+        assert results[0][0] == 1.0
+        assert "fast" in results[0][1]
+
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+        results = []
+
+        def waiter(env):
+            got = yield AllOf(env, [env.timeout(5.0, "slow"), env.timeout(1.0, "fast")])
+            results.append((env.now, sorted(got.values())))
+
+        env.process(waiter(env))
+        env.run()
+        assert results == [(5.0, ["fast", "slow"])]
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        condition = AllOf(env, [])
+        assert condition.triggered
+
+
+class TestKernelProperties:
+    def test_events_fire_in_time_order_property(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=50))
+        @settings(max_examples=80, deadline=None)
+        def check(delays):
+            env = Environment()
+            fired = []
+            for delay in delays:
+                timeout = env.timeout(delay, value=delay)
+                timeout.callbacks.append(lambda e: fired.append(e.value))
+            env.run()
+            assert fired == sorted(delays)
+            assert env.now == max(delays)
+
+        check()
+
+    def test_nested_process_chains(self):
+        env = Environment()
+
+        def leaf(env, depth):
+            yield env.timeout(1.0)
+            return depth
+
+        def chain(env, depth):
+            if depth == 0:
+                result = yield env.process(leaf(env, 0))
+                return result
+            result = yield env.process(chain(env, depth - 1))
+            return result + 1
+
+        process = env.process(chain(env, 10))
+        assert env.run(until=process) == 10
+
+    def test_many_concurrent_processes(self):
+        env = Environment()
+        done = []
+
+        def worker(env, index):
+            yield env.timeout(float(index % 7))
+            done.append(index)
+
+        for index in range(500):
+            env.process(worker(env, index))
+        env.run()
+        assert len(done) == 500
+        assert sorted(done) == list(range(500))

@@ -1,0 +1,158 @@
+"""Tests of the CAN overlay and its derived search trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NodeNotFoundError, TopologyError
+from repro.topology.can import CanOverlay, Zone, can_hash_point, can_search_tree
+
+
+class TestZone:
+    def test_contains_half_open(self):
+        zone = Zone((0.0, 0.0), (0.5, 1.0))
+        assert zone.contains((0.0, 0.0))
+        assert zone.contains((0.49, 0.99))
+        assert not zone.contains((0.5, 0.5))
+
+    def test_center(self):
+        assert Zone((0.0, 0.0), (1.0, 0.5)).center() == (0.5, 0.25)
+
+    def test_distance_inside_is_zero(self):
+        zone = Zone((0.0,), (1.0,))
+        assert zone.distance_to((0.3,)) == 0.0
+
+    def test_distance_outside(self):
+        zone = Zone((0.0, 0.0), (1.0, 1.0))
+        assert zone.distance_to((2.0, 0.5)) == pytest.approx(1.0)
+        assert zone.distance_to((2.0, 2.0)) == pytest.approx(2**0.5)
+
+    def test_split_halves_largest_dimension(self):
+        zone = Zone((0.0, 0.0), (1.0, 0.5))
+        left, right = zone.split()
+        assert left.highs[0] == 0.5
+        assert right.lows[0] == 0.5
+        assert left.highs[1] == 0.5  # untouched axis
+
+    def test_abuts_face_sharing(self):
+        left = Zone((0.0, 0.0), (0.5, 1.0))
+        right = Zone((0.5, 0.0), (1.0, 1.0))
+        assert left.abuts(right)
+        assert right.abuts(left)
+
+    def test_corner_contact_is_not_adjacency(self):
+        a = Zone((0.0, 0.0), (0.5, 0.5))
+        b = Zone((0.5, 0.5), (1.0, 1.0))
+        assert not a.abuts(b)
+
+    def test_separated_zones(self):
+        a = Zone((0.0, 0.0), (0.25, 0.25))
+        b = Zone((0.75, 0.75), (1.0, 1.0))
+        assert not a.abuts(b)
+
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(TopologyError):
+            Zone((0.5,), (0.5,))
+
+
+class TestCanOverlay:
+    def test_single_node_owns_everything(self):
+        overlay = CanOverlay.random(1, np.random.default_rng(0))
+        assert overlay.owner_of((0.3, 0.7)) == 0
+        assert overlay.route(0, (0.9, 0.9)) == [0]
+
+    def test_partition_invariants(self):
+        overlay = CanOverlay.random(50, np.random.default_rng(1))
+        overlay.validate()
+        assert len(overlay) == 50
+
+    def test_every_point_has_exactly_one_owner(self):
+        overlay = CanOverlay.random(30, np.random.default_rng(2))
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            point = tuple(rng.random(2))
+            owners = [
+                node
+                for node in overlay.node_ids
+                if overlay.zone(node).contains(point)
+            ]
+            assert len(owners) == 1
+
+    def test_neighbors_symmetric(self):
+        overlay = CanOverlay.random(40, np.random.default_rng(4))
+        for node in overlay:
+            for neighbor in overlay.neighbors(node):
+                assert node in overlay.neighbors(neighbor)
+
+    def test_routing_reaches_owner(self):
+        overlay = CanOverlay.random(64, np.random.default_rng(5))
+        rng = np.random.default_rng(6)
+        for _ in range(30):
+            point = tuple(rng.random(2))
+            start = int(rng.choice(overlay.node_ids))
+            path = overlay.route(start, point)
+            assert path[-1] == overlay.owner_of(point)
+            assert len(path) == len(set(path))  # no loops
+
+    def test_route_length_scales_subquadratically(self):
+        # CAN routes in O(d * n^(1/d)) hops; for d=2, sqrt(n).
+        overlay = CanOverlay.random(100, np.random.default_rng(7))
+        rng = np.random.default_rng(8)
+        lengths = [
+            len(overlay.route(int(rng.choice(overlay.node_ids)),
+                              tuple(rng.random(2)))) - 1
+            for _ in range(40)
+        ]
+        assert max(lengths) <= 6 * 10  # generous 6*sqrt(n) bound
+
+    def test_three_dimensional_can(self):
+        overlay = CanOverlay.random(32, np.random.default_rng(9), dimensions=3)
+        overlay.validate()
+        path = overlay.route(0, (0.9, 0.9, 0.9))
+        assert path[-1] == overlay.owner_of((0.9, 0.9, 0.9))
+
+    def test_key_point_deterministic(self):
+        overlay = CanOverlay.random(8, np.random.default_rng(10))
+        assert overlay.key_point("abc") == overlay.key_point("abc")
+        assert overlay.key_point("abc") != overlay.key_point("abd")
+        # Per-axis hashing is prefix-consistent across dimensionalities.
+        assert can_hash_point("x", 2) == can_hash_point("x", 3)[:2]
+        assert all(0 <= c < 1 for c in can_hash_point("x", 4))
+
+    def test_unknown_node_rejected(self):
+        overlay = CanOverlay.random(4, np.random.default_rng(11))
+        with pytest.raises(NodeNotFoundError):
+            overlay.route(99, (0.5, 0.5))
+
+    def test_invalid_construction(self):
+        with pytest.raises(TopologyError):
+            CanOverlay.random(0, np.random.default_rng(0))
+        with pytest.raises(TopologyError):
+            CanOverlay(dimensions=0)
+
+
+class TestCanSearchTree:
+    def test_tree_spans_overlay(self):
+        overlay = CanOverlay.random(48, np.random.default_rng(12))
+        tree = can_search_tree(overlay, "some-key")
+        assert len(tree) == len(overlay)
+        tree.validate()
+        assert tree.root == overlay.owner_of(overlay.key_point("some-key"))
+
+    def test_tree_parent_is_next_hop(self):
+        overlay = CanOverlay.random(32, np.random.default_rng(13))
+        point = overlay.key_point("k")
+        tree = can_search_tree(overlay, "k")
+        for node in overlay:
+            if node == tree.root:
+                continue
+            assert tree.parent(node) == overlay.next_hop(node, point)
+
+    @given(st.integers(2, 60), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_tree_always_valid(self, n, seed):
+        overlay = CanOverlay.random(n, np.random.default_rng(seed))
+        tree = can_search_tree(overlay, f"key-{seed}")
+        tree.validate()
+        assert len(tree) == n

@@ -1,0 +1,297 @@
+"""Unit and property tests for the index search tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NodeNotFoundError, TopologyError
+from repro.topology import (
+    SearchTree,
+    balanced_tree,
+    chain_tree,
+    random_search_tree,
+    star_tree,
+)
+from repro.topology.generators import complete_tree
+
+
+@pytest.fixture
+def paper_tree():
+    """The tree from the paper's Figure 1/2.
+
+    N1 is the root; N1-N2-N3-{N4, N5-{N6-{N7,N8}}}.
+    """
+    tree = SearchTree(root=1)
+    tree.add_leaf(1, 2)
+    tree.add_leaf(2, 3)
+    tree.add_leaf(3, 4)
+    tree.add_leaf(3, 5)
+    tree.add_leaf(5, 6)
+    tree.add_leaf(6, 7)
+    tree.add_leaf(6, 8)
+    return tree
+
+
+class TestConstruction:
+    def test_single_node(self):
+        tree = SearchTree(root=0)
+        assert tree.root == 0
+        assert len(tree) == 1
+        assert tree.is_leaf(0)
+        tree.validate()
+
+    def test_add_leaf(self, paper_tree):
+        assert paper_tree.parent(6) == 5
+        assert paper_tree.children(6) == (7, 8)
+        paper_tree.validate()
+
+    def test_duplicate_node_rejected(self, paper_tree):
+        with pytest.raises(TopologyError):
+            paper_tree.add_leaf(1, 3)
+
+    def test_missing_parent_rejected(self, paper_tree):
+        with pytest.raises(NodeNotFoundError):
+            paper_tree.add_leaf(99, 100)
+
+
+class TestQueries:
+    def test_path_to_root(self, paper_tree):
+        assert paper_tree.path_to_root(6) == [6, 5, 3, 2, 1]
+        assert paper_tree.path_to_root(1) == [1]
+
+    def test_depth(self, paper_tree):
+        assert paper_tree.depth(1) == 0
+        assert paper_tree.depth(6) == 4
+        assert paper_tree.depth(8) == 5
+
+    def test_lca(self, paper_tree):
+        assert paper_tree.lca(4, 6) == 3
+        assert paper_tree.lca(7, 8) == 6
+        assert paper_tree.lca(4, 4) == 4
+        assert paper_tree.lca(1, 8) == 1
+
+    def test_distance(self, paper_tree):
+        assert paper_tree.distance(4, 6) == 3
+        assert paper_tree.distance(7, 8) == 2
+        assert paper_tree.distance(1, 6) == 4
+        assert paper_tree.distance(5, 5) == 0
+
+    def test_on_path_to_root(self, paper_tree):
+        assert paper_tree.on_path_to_root(6, 3)
+        assert paper_tree.on_path_to_root(6, 6)
+        assert not paper_tree.on_path_to_root(6, 4)
+
+    def test_child_branch(self, paper_tree):
+        assert paper_tree.child_branch(3, 6) == 5
+        assert paper_tree.child_branch(3, 4) == 4
+        assert paper_tree.child_branch(1, 8) == 2
+
+    def test_child_branch_non_descendant_rejected(self, paper_tree):
+        with pytest.raises(TopologyError):
+            paper_tree.child_branch(6, 4)
+        with pytest.raises(TopologyError):
+            paper_tree.child_branch(6, 6)
+
+    def test_descendants_and_subtree_size(self, paper_tree):
+        assert set(paper_tree.descendants(5)) == {6, 7, 8}
+        assert paper_tree.subtree_size(5) == 4
+        assert paper_tree.subtree_size(1) == 8
+
+    def test_leaves(self, paper_tree):
+        assert set(paper_tree.leaves()) == {4, 7, 8}
+
+    def test_height_and_mean_depth(self, paper_tree):
+        assert paper_tree.height() == 5
+        depths = [0, 1, 2, 3, 3, 4, 5, 5]
+        assert paper_tree.mean_depth() == pytest.approx(sum(depths) / 8)
+
+    def test_to_networkx(self, paper_tree):
+        graph = paper_tree.to_networkx()
+        assert graph.number_of_nodes() == 8
+        assert graph.number_of_edges() == 7
+        assert graph.has_edge(6, 5)  # child -> parent
+
+
+class TestMutation:
+    def test_insert_on_edge(self, paper_tree):
+        # The paper's join example: N3' inserted between N3 and N5.
+        paper_tree.insert_on_edge(3, 5, 30)
+        assert paper_tree.parent(5) == 30
+        assert paper_tree.parent(30) == 3
+        assert 30 in paper_tree.children(3)
+        assert 5 not in paper_tree.children(3)
+        paper_tree.validate()
+
+    def test_insert_on_non_edge_rejected(self, paper_tree):
+        with pytest.raises(TopologyError):
+            paper_tree.insert_on_edge(3, 6, 30)
+
+    def test_remove_leaf(self, paper_tree):
+        paper_tree.remove_leaf(4)
+        assert 4 not in paper_tree
+        assert paper_tree.children(3) == (5,)
+        paper_tree.validate()
+
+    def test_remove_non_leaf_rejected(self, paper_tree):
+        with pytest.raises(TopologyError):
+            paper_tree.remove_leaf(5)
+
+    def test_remove_root_rejected(self, paper_tree):
+        with pytest.raises(TopologyError):
+            paper_tree.remove_leaf(1)
+
+    def test_splice_out(self, paper_tree):
+        absorber = paper_tree.splice_out(5)
+        assert absorber == 3
+        assert paper_tree.parent(6) == 3
+        assert set(paper_tree.children(3)) == {4, 6}
+        paper_tree.validate()
+
+    def test_splice_preserves_sibling_position(self, paper_tree):
+        paper_tree.splice_out(6)
+        assert paper_tree.children(5) == (7, 8)
+        paper_tree.validate()
+
+    def test_splice_root_rejected(self, paper_tree):
+        with pytest.raises(TopologyError):
+            paper_tree.splice_out(1)
+
+    def test_replace_root(self, paper_tree):
+        paper_tree.replace_root(10)
+        assert paper_tree.root == 10
+        assert paper_tree.parent(2) == 10
+        assert 1 not in paper_tree
+        paper_tree.validate()
+
+    def test_rename(self, paper_tree):
+        paper_tree.rename(5, 50)
+        assert paper_tree.parent(6) == 50
+        assert paper_tree.parent(50) == 3
+        assert 5 not in paper_tree
+        paper_tree.validate()
+
+    def test_rename_root(self, paper_tree):
+        paper_tree.rename(1, 11)
+        assert paper_tree.root == 11
+        paper_tree.validate()
+
+
+class TestGenerators:
+    def test_random_tree_size_and_root(self):
+        rng = np.random.default_rng(0)
+        tree = random_search_tree(100, max_degree=4, rng=rng)
+        assert len(tree) == 100
+        assert tree.root == 0
+        tree.validate()
+
+    def test_random_tree_degree_bound(self):
+        rng = np.random.default_rng(1)
+        tree = random_search_tree(500, max_degree=3, rng=rng)
+        assert all(tree.degree(node) <= 3 for node in tree.nodes)
+
+    def test_random_tree_deterministic_per_seed(self):
+        first = random_search_tree(50, 4, np.random.default_rng(7))
+        second = random_search_tree(50, 4, np.random.default_rng(7))
+        assert all(first.parent(n) == second.parent(n) for n in range(1, 50))
+
+    def test_random_tree_degree_one_is_chain(self):
+        rng = np.random.default_rng(2)
+        tree = random_search_tree(10, max_degree=1, rng=rng)
+        assert tree.height() == 9
+
+    def test_larger_degree_means_shallower_tree(self):
+        # The paper's Figure 6 premise.
+        rng = np.random.default_rng(3)
+        shallow = random_search_tree(1000, 10, rng)
+        rng = np.random.default_rng(3)
+        deep = random_search_tree(1000, 2, rng)
+        assert shallow.mean_depth() < deep.mean_depth()
+
+    def test_invalid_generator_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(TopologyError):
+            random_search_tree(0, 4, rng)
+        with pytest.raises(TopologyError):
+            random_search_tree(10, 0, rng)
+
+    def test_chain_tree(self):
+        tree = chain_tree(5)
+        assert tree.height() == 4
+        assert tree.path_to_root(4) == [4, 3, 2, 1, 0]
+        tree.validate()
+
+    def test_star_tree(self):
+        tree = star_tree(6)
+        assert tree.height() == 1
+        assert tree.degree(0) == 5
+        tree.validate()
+
+    def test_balanced_tree(self):
+        tree = balanced_tree(depth=3, degree=2)
+        assert len(tree) == 15
+        assert tree.height() == 3
+        tree.validate()
+
+    def test_complete_tree(self):
+        tree = complete_tree(10, degree=3)
+        assert len(tree) == 10
+        assert tree.degree(0) == 3
+        assert tree.degree(1) == 3
+        tree.validate()
+
+
+@st.composite
+def tree_and_operations(draw):
+    """A random tree followed by a random sequence of mutations."""
+    size = draw(st.integers(2, 30))
+    seed = draw(st.integers(0, 2**31))
+    operations = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["splice", "leaf", "insert", "add"]),
+                      st.integers(0, 2**31)),
+            max_size=15,
+        )
+    )
+    return size, seed, operations
+
+
+class TestTreePropertyBased:
+    @given(tree_and_operations())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_under_random_mutations(self, scenario):
+        size, seed, operations = scenario
+        rng = np.random.default_rng(seed)
+        tree = random_search_tree(size, max_degree=4, rng=rng)
+        next_id = size
+        for kind, op_seed in operations:
+            op_rng = np.random.default_rng(op_seed)
+            nodes = [n for n in tree.nodes if n != tree.root]
+            if kind == "splice" and nodes:
+                victim = nodes[int(op_rng.integers(len(nodes)))]
+                tree.splice_out(victim)
+            elif kind == "leaf" and nodes:
+                leaves = [n for n in nodes if tree.is_leaf(n)]
+                if leaves:
+                    tree.remove_leaf(leaves[int(op_rng.integers(len(leaves)))])
+            elif kind == "insert" and nodes:
+                lower = nodes[int(op_rng.integers(len(nodes)))]
+                tree.insert_on_edge(tree.parent(lower), lower, next_id)
+                next_id += 1
+            elif kind == "add":
+                all_nodes = list(tree.nodes)
+                parent = all_nodes[int(op_rng.integers(len(all_nodes)))]
+                tree.add_leaf(parent, next_id)
+                next_id += 1
+            tree.validate()
+
+    @given(st.integers(2, 200), st.integers(1, 8), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_tree_paths_reach_root(self, n, degree, seed):
+        tree = random_search_tree(n, degree, np.random.default_rng(seed))
+        tree.validate()
+        for node in tree.nodes:
+            path = tree.path_to_root(node)
+            assert path[0] == node
+            assert path[-1] == tree.root
+            assert len(path) == tree.depth(node) + 1

@@ -1,0 +1,154 @@
+"""Unit tests for the workload package: arrivals, placement, churn."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.workload import (
+    ArrivalProcess,
+    ChurnConfig,
+    ChurnEvent,
+    ChurnProcess,
+    ZipfNodeSelector,
+    make_arrival_process,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestArrivalProcess:
+    def test_exponential_rate(self):
+        process = make_arrival_process("exponential", rate=2.0, rng=rng(1))
+        gaps = [process.next_gap() for _ in range(20000)]
+        assert np.mean(gaps) == pytest.approx(0.5, rel=0.05)
+        assert process.mean_rate == pytest.approx(2.0)
+
+    def test_pareto_rate_matches_lambda(self):
+        # The paper: "The scale parameter k is set so that (alpha-1)/k
+        # equals the query arrival rate lambda."
+        process = make_arrival_process(
+            "pareto", rate=5.0, rng=rng(2), pareto_alpha=1.2
+        )
+        assert process.mean_rate == pytest.approx(5.0)
+        # alpha=1.2 has infinite variance, so the sample mean converges
+        # hopelessly slowly; check the analytic median instead:
+        # F(x)=1-(k/(x+k))^a  =>  median = k * (2^(1/a) - 1), k=0.04.
+        gaps = [process.next_gap() for _ in range(100000)]
+        expected_median = 0.04 * (2 ** (1 / 1.2) - 1)
+        assert np.median(gaps) == pytest.approx(expected_median, rel=0.05)
+
+    def test_pareto_burstier_with_smaller_alpha(self):
+        bursty = make_arrival_process("pareto", 1.0, rng(3), pareto_alpha=1.05)
+        smooth = make_arrival_process("pareto", 1.0, rng(3), pareto_alpha=1.9)
+        bursty_gaps = np.array([bursty.next_gap() for _ in range(50000)])
+        smooth_gaps = np.array([smooth.next_gap() for _ in range(50000)])
+        # Burstier = more mass near zero.
+        assert np.median(bursty_gaps) < np.median(smooth_gaps)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_arrival_process("uniform", 1.0, rng())
+
+    def test_non_positive_rate_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_arrival_process("exponential", 0.0, rng())
+
+
+class TestZipfNodeSelector:
+    def test_assignment_is_a_permutation(self):
+        nodes = list(range(10, 60))
+        selector = ZipfNodeSelector(nodes, theta=1.0, rng=rng(4))
+        drawn = {selector.sample(rng(5)) for _ in range(1)}
+        assert drawn <= set(nodes)
+        assert sorted(selector.hottest(50)) == sorted(nodes)
+
+    def test_hot_node_dominates(self):
+        selector = ZipfNodeSelector(list(range(100)), theta=2.0, rng=rng(6))
+        generator = rng(7)
+        draws = [selector.sample(generator) for _ in range(5000)]
+        hottest = selector.hottest(1)[0]
+        share = draws.count(hottest) / len(draws)
+        assert share > 0.5  # theta=2 concentrates heavily
+
+    def test_rank_of(self):
+        selector = ZipfNodeSelector([1, 2, 3], theta=1.0, rng=rng(8))
+        hottest = selector.hottest(1)[0]
+        assert selector.rank_of(hottest) == 0
+
+    def test_permutation_depends_on_seed(self):
+        nodes = list(range(200))
+        first = ZipfNodeSelector(nodes, 1.0, rng(9)).hottest(5)
+        second = ZipfNodeSelector(nodes, 1.0, rng(10)).hottest(5)
+        assert first != second  # overwhelmingly likely
+
+    def test_sample_alive_skips_dead(self):
+        selector = ZipfNodeSelector(list(range(10)), theta=0.0, rng=rng(11))
+        alive = {3, 7}
+        node = selector.sample_alive(rng(12), alive.__contains__)
+        assert node in alive
+
+    def test_sample_alive_none_when_everyone_dead(self):
+        selector = ZipfNodeSelector(list(range(5)), theta=0.0, rng=rng(13))
+        assert selector.sample_alive(rng(14), lambda n: False) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfNodeSelector([], theta=1.0, rng=rng())
+
+
+class TestChurnConfig:
+    def test_defaults_disabled(self):
+        assert not ChurnConfig().enabled
+
+    def test_total_rate(self):
+        config = ChurnConfig(join_rate=1.0, leave_rate=2.0, fail_rate=3.0)
+        assert config.total_rate == pytest.approx(6.0)
+        assert config.enabled
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            ChurnConfig(join_rate=-1.0)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            ChurnConfig(join_rate=1.0, edge_join_fraction=1.5)
+
+    def test_min_population_validated(self):
+        with pytest.raises(ConfigError):
+            ChurnConfig(join_rate=1.0, min_population=1)
+
+
+class TestChurnProcess:
+    def test_zero_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            ChurnProcess(ChurnConfig(), rng())
+
+    def test_gap_matches_total_rate(self):
+        config = ChurnConfig(join_rate=5.0, leave_rate=5.0)
+        process = ChurnProcess(config, rng(15))
+        gaps = [process.next_gap() for _ in range(20000)]
+        assert np.mean(gaps) == pytest.approx(0.1, rel=0.05)
+
+    def test_kind_distribution(self):
+        config = ChurnConfig(join_rate=1.0, leave_rate=1.0, fail_rate=2.0)
+        process = ChurnProcess(config, rng(16))
+        kinds = [process.next_kind() for _ in range(8000)]
+        fails = sum(1 for k in kinds if k is ChurnEvent.FAIL)
+        assert fails / len(kinds) == pytest.approx(0.5, abs=0.03)
+
+    def test_join_split_between_edge_and_leaf(self):
+        config = ChurnConfig(join_rate=1.0, edge_join_fraction=1.0)
+        process = ChurnProcess(config, rng(17))
+        kinds = {process.next_kind() for _ in range(50)}
+        assert kinds == {ChurnEvent.JOIN_EDGE}
+
+    def test_pick_victim_uniform(self):
+        config = ChurnConfig(fail_rate=1.0)
+        process = ChurnProcess(config, rng(18))
+        victims = [process.pick_victim([1, 2, 3, 4]) for _ in range(4000)]
+        for node in (1, 2, 3, 4):
+            assert victims.count(node) / len(victims) == pytest.approx(
+                0.25, abs=0.04
+            )
