@@ -1,12 +1,16 @@
 """Command-line interface: ``repro-dup``.
 
-Three subcommands:
+Subcommands:
 
 - ``repro-dup list`` — show available experiments and schemes.
 - ``repro-dup run EXPERIMENT`` — regenerate a paper table/figure (or an
   ablation) and print the rows plus the shape checks.
 - ``repro-dup simulate`` — one ad-hoc simulation with explicit
-  parameters, printing the metrics report.
+  parameters, printing the metrics report (``--trace-out`` /
+  ``--metrics-out`` export JSONL traces and registry snapshots).
+- ``repro-dup observe`` — an instrumented run: per-query tracing plus
+  periodic metric snapshots, exported as JSONL, with a tail-latency and
+  hop-attribution summary printed at the end.
 - ``repro-dup trace`` — synthesize a reusable query trace, or replay a
   saved one against a scheme.
 
@@ -18,6 +22,8 @@ Examples
     repro-dup run figure4 --scale bench --replications 2
     repro-dup run table3 --scale paper          # hours, full fidelity
     repro-dup simulate --scheme dup --nodes 2048 --rate 10 --duration 36000
+    repro-dup simulate --scheme dup --trace-out traces.jsonl
+    repro-dup observe --scheme dup --nodes 512 --duration 14400
     repro-dup trace make workload.trace --nodes 512 --rate 5
     repro-dup trace replay workload.trace --scheme dup --nodes 512
 """
@@ -90,6 +96,60 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("random-tree", "chord", "can", "balanced", "chain", "star"),
     )
     sim_parser.add_argument("--seed", type=int, default=1)
+    sim_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="enable per-query tracing and export JSONL traces to PATH",
+    )
+    sim_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="export periodic metric-registry snapshots as JSONL to PATH",
+    )
+    sim_parser.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=600.0,
+        help="simulated seconds between registry snapshots (default: 600)",
+    )
+
+    observe_parser = subparsers.add_parser(
+        "observe", help="run one fully instrumented simulation"
+    )
+    observe_parser.add_argument(
+        "--scheme", default="dup", choices=available_schemes()
+    )
+    observe_parser.add_argument("--nodes", type=int, default=512)
+    observe_parser.add_argument("--degree", type=int, default=4)
+    observe_parser.add_argument("--rate", type=float, default=1.0)
+    observe_parser.add_argument("--theta", type=float, default=0.95)
+    observe_parser.add_argument("--threshold", type=int, default=6)
+    observe_parser.add_argument("--ttl", type=float, default=3600.0)
+    observe_parser.add_argument("--duration", type=float, default=3600.0 * 4)
+    observe_parser.add_argument("--warmup", type=float, default=3600.0)
+    observe_parser.add_argument(
+        "--topology",
+        default="random-tree",
+        choices=("random-tree", "chord", "can", "balanced", "chain", "star"),
+    )
+    observe_parser.add_argument("--seed", type=int, default=1)
+    observe_parser.add_argument(
+        "--trace-out", default="traces.jsonl", metavar="PATH"
+    )
+    observe_parser.add_argument(
+        "--metrics-out", default="metrics.jsonl", metavar="PATH"
+    )
+    observe_parser.add_argument(
+        "--snapshot-interval", type=float, default=600.0
+    )
+    observe_parser.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="slowest traces to print (default: 5)",
+    )
 
     trace_parser = subparsers.add_parser(
         "trace", help="synthesize or replay a query trace"
@@ -133,6 +193,33 @@ def _command_run(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _instrumented_run(config, trace_out, metrics_out, snapshot_interval):
+    """Run one simulation with the requested observability attached.
+
+    Returns ``(result, tracer)``; ``tracer`` is ``None`` when tracing
+    was not requested.
+    """
+    from repro.engine.simulation import Simulation
+    from repro.metrics.export import export_registry, export_traces
+
+    # Fail on an unwritable output path now, not after an hours-long run.
+    for path in (trace_out, metrics_out):
+        if path:
+            open(path, "w", encoding="utf-8").close()
+    sim = Simulation(config)
+    tracer = sim.enable_tracing() if trace_out else None
+    if metrics_out:
+        sim.enable_snapshots(interval=snapshot_interval)
+    result = sim.run()
+    if trace_out:
+        count = export_traces(tracer, trace_out)
+        print(f"wrote {count} trace records to {trace_out}")
+    if metrics_out:
+        count = export_registry(sim.registry, metrics_out)
+        print(f"wrote {count} snapshot records to {metrics_out}")
+    return result, tracer
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     config = SimulationConfig(
         scheme=args.scheme,
@@ -150,11 +237,57 @@ def _command_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     print(f"config: {config.describe()}")
-    result = run_simulation(config)
+    if args.trace_out or args.metrics_out:
+        result, _ = _instrumented_run(
+            config, args.trace_out, args.metrics_out, args.snapshot_interval
+        )
+    else:
+        result = run_simulation(config)
     print(result)
     if result.extras:
         print(f"extras: {dict(result.extras)}")
     print(f"wall: {result.wall_seconds:.1f}s")
+    return 0
+
+
+def _command_observe(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        scheme=args.scheme,
+        num_nodes=args.nodes,
+        max_degree=args.degree,
+        query_rate=args.rate,
+        zipf_theta=args.theta,
+        threshold_c=args.threshold,
+        ttl=args.ttl,
+        duration=args.duration,
+        warmup=args.warmup,
+        topology=args.topology,
+        seed=args.seed,
+    )
+    print(f"config: {config.describe()}")
+    result, tracer = _instrumented_run(
+        config, args.trace_out, args.metrics_out, args.snapshot_interval
+    )
+    print(result)
+    summary = tracer.summary()
+    print(
+        f"traces: {summary['completed']} complete, "
+        f"{summary['incomplete']} incomplete, {summary['open']} open "
+        f"({tracer.untraced} in warm-up)"
+    )
+    tails = " ".join(
+        f"{name}={value:g}" for name, value in tracer.percentiles().items()
+    )
+    print(f"latency percentiles (hops): {tails}")
+    levels = tracer.hops_by_level()
+    if levels:
+        rendered = " ".join(
+            f"L{level}:{hops}" for level, hops in levels.items()
+        )
+        print(f"request hops by tree level: {rendered}")
+    if args.top > 0:
+        for trace in tracer.slowest(args.top):
+            print(f"  {trace}")
     return 0
 
 
@@ -201,6 +334,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run(args)
     if args.command == "simulate":
         return _command_simulate(args)
+    if args.command == "observe":
+        return _command_observe(args)
     if args.command == "trace":
         return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -109,13 +109,31 @@ class _KeySlice:
             return self.authority.current
         return self.cache(node).get(self.key, self.env.now)
 
-    def record_latency(self, hops: float, issued_at: float) -> None:
+    def record_latency(
+        self,
+        hops: float,
+        issued_at: float,
+        trace_id: Optional[int] = None,
+    ) -> None:
         """Record a completed query (shared recorder + per-key count)."""
         self._owner.record_latency(self.key, hops, issued_at)
 
     def note_incomplete_query(self) -> None:
         """Reply lost (cannot happen without churn; kept for interface)."""
         self._owner.note_incomplete_query()
+
+    def trace_begin(self, node: NodeId) -> Optional[int]:
+        """Interface parity: per-query tracing is single-key only."""
+        return None
+
+    def trace_annotate(
+        self,
+        trace_id: Optional[int],
+        node: NodeId,
+        event: str,
+        detail: str = "",
+    ) -> None:
+        """Interface parity: annotations are dropped (no tracer here)."""
 
     def make_interest_policy(self):
         """Per-node, per-key interest policy."""
@@ -292,14 +310,13 @@ class MultiKeySimulation:
                 subscribed_total += len(scheme.subscribed_nodes())
         if subscribed_total:
             extras["total_subscriptions"] = subscribed_total
+        keep = self.config.keep_latency_samples and self.latency.count
         return SimulationResult(
             config=self.config,
             scheme=f"{self.config.scheme} (x{self.num_keys} keys)",
             queries=self.latency.count,
             mean_latency=self.latency.mean,
-            latency_ci=self.latency.confidence_interval()
-            if self.config.keep_latency_samples and self.latency.count
-            else None,
+            latency_ci=self.latency.confidence_interval() if keep else None,
             cost_per_query=self.ledger.cost_per_query(self.latency.count),
             hit_rate=self.latency.hit_rate,
             hop_breakdown=dict(self.ledger.breakdown()),
@@ -308,4 +325,5 @@ class MultiKeySimulation:
             final_population=len(self.ring),
             wall_seconds=wall,
             extras=extras,
+            latency_percentiles=self.latency.percentiles() if keep else {},
         )

@@ -35,6 +35,7 @@ class SimulationResult:
     final_population: int
     wall_seconds: float
     extras: Mapping[str, object] = field(default_factory=dict)
+    latency_percentiles: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def report(self) -> MetricsReport:
@@ -50,6 +51,8 @@ class SimulationResult:
             cost_per_query=self.cost_per_query,
             hit_rate=self.hit_rate,
             hop_breakdown=self.hop_breakdown,
+            latency_percentiles=self.latency_percentiles,
+            dropped=self.dropped_messages,
         )
 
     def __str__(self) -> str:

@@ -7,8 +7,17 @@ two metrics into a :class:`~repro.engine.results.SimulationResult`.
 
 It also serves as the narrow facade schemes program against: clock
 (``env``), topology (``tree``, ``parent``, ``is_root``, ``alive``),
-messaging (``transport``), state (``cache``, ``lookup``), and metrics
-(``record_latency``, ``ledger``).
+messaging (``transport``), state (``cache``, ``lookup``), metrics
+(``record_latency``, ``ledger``, ``registry``), and tracing
+(``trace_begin``, ``trace_annotate``).
+
+Observability is wired here: every run owns a
+:class:`~repro.metrics.registry.MetricsRegistry` fronting the cost
+ledger, latency recorder, transport, and population as live gauges
+(``enable_snapshots`` samples it periodically), and
+:meth:`Simulation.enable_tracing` attaches a
+:class:`~repro.engine.tracing.TraceCollector` that reconstructs every
+query's causal chain from the transport observer tap.
 """
 
 from __future__ import annotations
@@ -25,7 +34,8 @@ from repro.index.cache import IndexCache
 from repro.index.entry import IndexVersion
 from repro.metrics.counters import CostLedger
 from repro.metrics.latency import LatencyRecorder
-from repro.net.message import Message, ReplyMessage
+from repro.metrics.registry import MetricsRegistry
+from repro.net.message import Category, Message, ReplyMessage
 from repro.net.transport import Transport
 from repro.schemes.registry import make_scheme
 from repro.sim.core import Environment
@@ -91,6 +101,29 @@ class Simulation:
         self._monitor = None
         self._trace = None
         self._ran = False
+        self.tracer = None
+        self.registry = MetricsRegistry(clock=lambda: self.env.now)
+        self._register_standard_metrics()
+
+    def _register_standard_metrics(self) -> None:
+        registry = self.registry
+        for category in Category:
+            registry.gauge(
+                f"hops.{category.value}",
+                lambda category=category: self.ledger.hops(category),
+            )
+        registry.gauge("hops.total", lambda: self.ledger.total_hops)
+        registry.gauge("latency.count", lambda: self.latency.count)
+        registry.gauge("latency.mean", lambda: self.latency.mean)
+        registry.gauge("latency.hit_rate", lambda: self.latency.hit_rate)
+        if self.config.keep_latency_samples:
+            for q in (50, 95, 99):
+                registry.gauge(
+                    f"latency.p{q}", lambda q=q: self.latency.percentile(q)
+                )
+        registry.gauge("transport.dropped", lambda: self.transport.dropped)
+        registry.gauge("queries.incomplete", lambda: self._incomplete)
+        registry.gauge("population", lambda: float(len(self.tree)))
 
     # -- construction helpers -----------------------------------------------
     def _build_topology(self) -> tuple[SearchTree, int]:
@@ -149,13 +182,80 @@ class Simulation:
             return self.authority.current
         return self.cache(node).get(self.key, self.env.now)
 
-    def record_latency(self, hops: float, issued_at: float) -> None:
-        """Record one completed query's request latency."""
+    def record_latency(
+        self,
+        hops: float,
+        issued_at: float,
+        trace_id: Optional[int] = None,
+    ) -> None:
+        """Record one completed query's request latency.
+
+        ``trace_id`` closes the query's trace when tracing is enabled.
+        """
         self.latency.record(hops, issued_at)
+        if self.tracer is not None and trace_id is not None:
+            self.tracer.complete(trace_id, hops)
 
     def note_incomplete_query(self) -> None:
         """A query's reply was lost to churn; it never completes."""
         self._incomplete += 1
+
+    # -- tracing facade ------------------------------------------------------
+    def trace_begin(self, node: NodeId) -> Optional[int]:
+        """Open a trace for a query issued now at ``node``.
+
+        Returns ``None`` when tracing is disabled (the default) or the
+        query falls into the warm-up.
+        """
+        if self.tracer is None:
+            return None
+        return self.tracer.begin(node)
+
+    def trace_annotate(
+        self,
+        trace_id: Optional[int],
+        node: NodeId,
+        event: str,
+        detail: str = "",
+    ) -> None:
+        """Record a scheme decision point on a trace (no-op untraced)."""
+        if self.tracer is not None and trace_id is not None:
+            self.tracer.annotate(trace_id, node, event, detail)
+
+    def enable_tracing(self, keep: int = 100_000):
+        """Attach a :class:`~repro.engine.tracing.TraceCollector`.
+
+        Must be called before :meth:`run`; returns the collector.  Every
+        post-warm-up query then yields a reconstructed end-to-end trace.
+        """
+        from repro.engine.tracing import TraceCollector
+
+        if self.tracer is not None:
+            return self.tracer
+        self.tracer = TraceCollector(
+            clock=lambda: self.env.now,
+            warmup=self.config.warmup,
+            depth_of=self._node_depth,
+            keep=keep,
+        )
+        self.transport.add_observer(self.tracer.observe)
+        return self.tracer
+
+    def _node_depth(self, node: NodeId) -> Optional[int]:
+        if node not in self.tree:
+            return None
+        return self.tree.depth(node)
+
+    def enable_snapshots(self, interval: float = 600.0) -> None:
+        """Sample the metrics registry every ``interval`` simulated
+        seconds (must be called before :meth:`run`)."""
+
+        def loop():
+            while True:
+                yield self.env.timeout(interval)
+                self.registry.record_snapshot()
+
+        self.env.process(loop(), name="metrics-snapshots")
 
     def forget_node(self, node: NodeId) -> None:
         """Drop per-node engine state after departure/failure."""
@@ -195,7 +295,10 @@ class Simulation:
 
         if self._monitor is None:
             self._monitor = Monitor(self.env, interval)
-        return self._monitor.probe(name, function)
+        series = self._monitor.probe(name, function)
+        # Absorb the probe into the unified registry as a live gauge.
+        self.registry.gauge(f"probe.{name}", function)
+        return series
 
     def add_standard_probes(self, interval: float = 600.0) -> dict:
         """Register the commonly useful probes; returns name -> series.
@@ -226,7 +329,7 @@ class Simulation:
     # -- internals -----------------------------------------------------------
     def _dispatch(self, destination: NodeId, message: Message) -> None:
         if destination not in self.tree:
-            self.transport.drop()
+            self.transport.drop(message)
             if isinstance(message, ReplyMessage):
                 self.note_incomplete_query()
             return
@@ -332,14 +435,13 @@ class Simulation:
             extras["subscribed"] = len(self.scheme.subscribed_nodes())
         if hasattr(self.scheme, "dup_tree_size"):
             extras["dup_tree_size"] = self.scheme.dup_tree_size()
+        keep = self.config.keep_latency_samples and self.latency.count
         return SimulationResult(
             config=self.config,
             scheme=self.scheme.name,
             queries=self.latency.count,
             mean_latency=self.latency.mean,
-            latency_ci=self.latency.confidence_interval()
-            if self.config.keep_latency_samples and self.latency.count
-            else None,
+            latency_ci=self.latency.confidence_interval() if keep else None,
             cost_per_query=self.ledger.cost_per_query(self.latency.count),
             hit_rate=self.latency.hit_rate,
             hop_breakdown=dict(self.ledger.breakdown()),
@@ -348,4 +450,5 @@ class Simulation:
             final_population=len(self.tree),
             wall_seconds=wall_seconds,
             extras=extras,
+            latency_percentiles=self.latency.percentiles() if keep else {},
         )

@@ -51,11 +51,19 @@ def run(
             results[(level, scheme)] = aggregated
             dropped = sum(r.dropped_messages for r in aggregated.runs)
             incomplete = sum(r.incomplete_queries for r in aggregated.runs)
+            # Tail latency across replications: churn hurts the tail
+            # long before it moves the mean.
+            p95s = [
+                r.latency_percentiles["p95"]
+                for r in aggregated.runs
+                if "p95" in r.latency_percentiles
+            ]
             rows.append(
                 {
                     "churn_rate": level,
                     "scheme": scheme,
                     "latency": aggregated.latency.mean,
+                    "latency_p95": max(p95s) if p95s else float("nan"),
                     "cost": aggregated.cost.mean,
                     "dropped_msgs": dropped,
                     "incomplete": incomplete,

@@ -1,4 +1,4 @@
-"""Performance metrics: hop cost ledger and query-latency recorder.
+"""Performance metrics: cost ledger, latency recorder, unified registry.
 
 The paper reports two metrics (Section IV):
 
@@ -7,10 +7,36 @@ The paper reports two metrics (Section IV):
 - **average query cost** — total hops of all query-related messages
   (requests, replies, updates, interest/tree maintenance) divided by the
   number of queries.
+
+Beyond those aggregates, the package provides a unified
+:class:`MetricsRegistry` (counters / gauges / histograms with periodic
+snapshotting) that fronts every metric source in a run, plus JSONL
+exporters for offline analysis (:mod:`repro.metrics.export`).
 """
 
 from repro.metrics.counters import CostLedger
+from repro.metrics.export import (
+    export_messages,
+    export_registry,
+    export_traces,
+    read_jsonl,
+    write_jsonl,
+)
 from repro.metrics.latency import LatencyRecorder
+from repro.metrics.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.metrics.report import MetricsReport
 
-__all__ = ["CostLedger", "LatencyRecorder", "MetricsReport"]
+__all__ = [
+    "CostLedger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyRecorder",
+    "MetricsRegistry",
+    "MetricsReport",
+    "export_messages",
+    "export_registry",
+    "export_traces",
+    "read_jsonl",
+    "write_jsonl",
+]

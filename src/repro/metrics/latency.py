@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.stats.confidence import ConfidenceInterval, batch_means_interval
-from repro.stats.running import RunningStat
+from repro.stats.running import RunningStat, percentile
 
 
 class LatencyRecorder:
@@ -100,6 +100,19 @@ class LatencyRecorder:
         if not self._keep_samples:
             raise RuntimeError("samples were not kept; CI unavailable")
         return batch_means_interval(self._samples, batches, confidence)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile (requires ``keep_samples``).
+
+        Returns ``nan`` when no samples were recorded.
+        """
+        if not self._keep_samples:
+            raise RuntimeError("samples were not kept; percentile unavailable")
+        return percentile(self._samples, q)
+
+    def percentiles(self, qs=(50, 95, 99)) -> dict[str, float]:
+        """Tail percentiles keyed ``"p50"``-style (requires samples)."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
 
     @property
     def samples(self) -> tuple[float, ...]:

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.stats.confidence import ConfidenceInterval
+
+#: The tail percentiles every report carries (keys of
+#: ``latency_percentiles``).
+PERCENTILE_KEYS = ("p50", "p95", "p99")
 
 
 @dataclass(frozen=True)
@@ -28,6 +33,11 @@ class MetricsReport:
         Fraction of queries answered from the local cache.
     hop_breakdown:
         Post-warm-up hops by message category.
+    latency_percentiles:
+        Tail latency percentiles keyed ``"p50"``/``"p95"``/``"p99"``
+        (empty when per-query samples were not retained).
+    dropped:
+        Messages the transport dropped to churn during the run.
     """
 
     scheme: str
@@ -37,6 +47,11 @@ class MetricsReport:
     cost_per_query: float
     hit_rate: float
     hop_breakdown: Mapping[str, int]
+    latency_percentiles: Mapping[str, float] = field(default_factory=dict)
+    dropped: int = 0
+
+    def _percentile(self, key: str) -> float:
+        return float(self.latency_percentiles.get(key, math.nan))
 
     def to_row(self) -> dict[str, object]:
         """Flatten into a dict suitable for table printing."""
@@ -45,8 +60,13 @@ class MetricsReport:
             "queries": self.queries,
             "latency": round(self.mean_latency, 4),
             "latency_ci": str(self.latency_ci),
+            **{
+                key: round(self._percentile(key), 4)
+                for key in PERCENTILE_KEYS
+            },
             "cost": round(self.cost_per_query, 4),
             "hit_rate": round(self.hit_rate, 4),
+            "dropped": self.dropped,
             **{f"hops_{k}": v for k, v in self.hop_breakdown.items()},
         }
 
@@ -54,9 +74,18 @@ class MetricsReport:
         breakdown = ", ".join(
             f"{name}={hops}" for name, hops in self.hop_breakdown.items() if hops
         )
+        tails = ""
+        if self.latency_percentiles:
+            tails = " " + " ".join(
+                f"{key}={self._percentile(key):.4g}"
+                for key in PERCENTILE_KEYS
+            )
+        dropped = f" dropped={self.dropped}" if self.dropped else ""
         return (
             f"[{self.scheme}] queries={self.queries} "
-            f"latency={self.mean_latency:.4g} ({self.latency_ci}) "
-            f"cost={self.cost_per_query:.4g} hit_rate={self.hit_rate:.3g} "
+            f"latency={self.mean_latency:.4g} ({self.latency_ci})"
+            f"{tails} "
+            f"cost={self.cost_per_query:.4g} hit_rate={self.hit_rate:.3g}"
+            f"{dropped} "
             f"({breakdown})"
         )

@@ -22,7 +22,7 @@ from repro.net.message import (
     Substitute,
     Unsubscribe,
 )
-from repro.net.transport import Transport
+from repro.net.transport import Transport, TransportEvent
 
 __all__ = [
     "Category",
@@ -37,5 +37,6 @@ __all__ = [
     "Subscribe",
     "Substitute",
     "Transport",
+    "TransportEvent",
     "Unsubscribe",
 ]

@@ -9,6 +9,15 @@ Two layers are distinguished:
   either ride inside a :class:`QueryMessage` (the paper's "interest bit"
   piggybacking — zero extra hops) or travel standalone wrapped in a
   :class:`ControlMessage` (one charged hop per tree edge).
+
+Every message additionally carries a **span context**: a ``trace_id``
+linking it to the query whose causal chain it belongs to (issue →
+per-hop forwarding → reply → control continuations → the pushes they
+trigger).  The id is ``None`` for traffic outside any query's chain
+(TTL-cycle pushes, keep-alives, churn repair) or when tracing is off;
+it is propagated with :meth:`Message.inherit_trace` so the
+:class:`repro.engine.tracing.TraceCollector` can reassemble full
+end-to-end traces from transport events.
 """
 
 from __future__ import annotations
@@ -98,14 +107,32 @@ ControlPayload = object  # any of the dataclasses above
 
 @dataclass
 class Message:
-    """Base class for everything the transport can carry."""
+    """Base class for everything the transport can carry.
+
+    ``trace_id`` is the span context: the id of the query trace this
+    message causally belongs to, or ``None`` when it is not part of any
+    traced query (see the module docstring).
+    """
 
     key: int
 
     category: Category = field(default=Category.CONTROL, init=False)
+    trace_id: Optional[int] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         self.sequence = next(_sequence)
+
+    def inherit_trace(self, source: "Message | int | None") -> "Message":
+        """Adopt the span context of ``source`` (a message or raw id).
+
+        Returns ``self`` so construction and propagation can be chained:
+        ``transport.send(dst, PushMessage(...).inherit_trace(query))``.
+        """
+        if isinstance(source, Message):
+            self.trace_id = source.trace_id
+        else:
+            self.trace_id = source
+        return self
 
 
 @dataclass

@@ -13,20 +13,57 @@ Each hop:
 - charges 1 hop to the message's :class:`~repro.net.message.Category` in
   the cost ledger — unless the hop is *free* (piggybacked control bits) or
   falls into the measurement warm-up.
+
+Observability taps into the transport through **observers**: any number
+of callables registered with :meth:`Transport.add_observer` receive a
+:class:`TransportEvent` for every send, delivery, and drop.  The
+message log and the trace collector are both built on this tap, so they
+stack freely and never touch the delivery handler.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
 
-from repro.net.message import Message
+from repro.net.message import Message, QueryMessage
 from repro.sim.core import Environment
 from repro.stats.distributions import Distribution
 
 NodeId = int
 DeliveryHandler = Callable[[NodeId, Message], None]
+
+
+@dataclass(frozen=True)
+class TransportEvent:
+    """One observable transport occurrence.
+
+    Attributes
+    ----------
+    kind:
+        ``"send"`` (hop scheduled), ``"deliver"`` (hop completed), or
+        ``"drop"`` (message lost to churn).
+    time:
+        Simulation time of the event.
+    destination:
+        Receiving node (``None`` for drops whose target is unknown).
+    message:
+        The message involved.
+    sender:
+        Transmitting node when known (sends only; derived from the
+        message where possible).
+    """
+
+    kind: str
+    time: float
+    destination: Optional[NodeId]
+    message: Message
+    sender: Optional[NodeId] = None
+
+
+TransportObserver = Callable[[TransportEvent], None]
 
 
 class Transport:
@@ -61,10 +98,39 @@ class Transport:
         self._ledger = ledger
         self._handler = handler
         self._dropped = 0
+        self._observers: list[TransportObserver] = []
 
     def bind(self, handler: DeliveryHandler) -> None:
         """Set the delivery callback (must happen before the first send)."""
         self._handler = handler
+
+    # -- observer tap -------------------------------------------------------
+    def add_observer(self, observer: TransportObserver) -> TransportObserver:
+        """Register an observer for send/deliver/drop events.
+
+        Observers stack: each registered callable sees every event, in
+        registration order, before the delivery handler runs.  Returns
+        the observer so call sites can keep the handle for
+        :meth:`remove_observer`.
+        """
+        self._observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: TransportObserver) -> None:
+        """Unregister a previously added observer."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            raise ValueError("observer was not registered") from None
+
+    @property
+    def observers(self) -> tuple[TransportObserver, ...]:
+        """The currently registered observers, in notification order."""
+        return tuple(self._observers)
+
+    def _notify(self, event: TransportEvent) -> None:
+        for observer in self._observers:
+            observer(event)
 
     @property
     def dropped(self) -> int:
@@ -77,6 +143,7 @@ class Transport:
         message: Message,
         free: bool = False,
         hops: int = 1,
+        sender: Optional[NodeId] = None,
     ) -> None:
         """Transmit ``message`` one overlay hop to ``destination``.
 
@@ -91,17 +158,52 @@ class Transport:
         hops:
             Hop cost to charge (always 1 in the paper's model; kept
             explicit for clarity at call sites).
+        sender:
+            Transmitting node, for observers; derived from the message
+            (``sender`` attribute, or the query path) when omitted.
         """
         if self._handler is None:
             raise RuntimeError("transport used before bind()")
         if not free:
             self._ledger.charge(message.category, hops)
+        if self._observers:
+            if sender is None:
+                sender = getattr(message, "sender", None)
+                if sender is None and isinstance(message, QueryMessage):
+                    sender = message.path[-1]
+            self._notify(
+                TransportEvent(
+                    kind="send",
+                    time=self._env.now,
+                    destination=destination,
+                    message=message,
+                    sender=sender,
+                )
+            )
         delay = self._latency.sample(self._rng)
         self._env.call_later(delay, self._deliver, destination, message)
 
     def _deliver(self, destination: NodeId, message: Message) -> None:
+        if self._observers:
+            self._notify(
+                TransportEvent(
+                    kind="deliver",
+                    time=self._env.now,
+                    destination=destination,
+                    message=message,
+                )
+            )
         self._handler(destination, message)
 
-    def drop(self) -> None:
+    def drop(self, message: Optional[Message] = None) -> None:
         """Record a message lost to churn (destination left the overlay)."""
         self._dropped += 1
+        if self._observers and message is not None:
+            self._notify(
+                TransportEvent(
+                    kind="drop",
+                    time=self._env.now,
+                    destination=None,
+                    message=message,
+                )
+            )

@@ -40,10 +40,19 @@ class Scheme(abc.ABC):
 
     def __init__(self) -> None:
         self.sim: "Simulation | None" = None
+        #: Span context of the message currently being processed (set by
+        #: the dispatch paths around control handling) so decision hooks
+        #: can attribute annotations and triggered messages to the query
+        #: that caused them.
+        self._carrier_trace: "int | None" = None
 
     def bind(self, sim: "Simulation") -> None:
         """Attach the scheme to a simulation (called once by the engine)."""
         self.sim = sim
+
+    def _trace_note(self, node: NodeId, event: str, detail: str = "") -> None:
+        """Annotate the trace of the message currently being processed."""
+        self.sim.trace_annotate(self._carrier_trace, node, event, detail)
 
     # -- events delivered by the engine -----------------------------------
     @abc.abstractmethod
@@ -127,64 +136,80 @@ class PathCachingScheme(Scheme):
     def on_local_query(self, node: NodeId) -> None:
         sim = self.sim
         issued_at = sim.env.now
+        trace_id = sim.trace_begin(node)
+        self._carrier_trace = trace_id
         payloads = self._on_query_arrival(node, packet=None)
         version = self._lookup(node)
         if version is not None:
-            sim.record_latency(0, issued_at)
+            sim.record_latency(0, issued_at, trace_id=trace_id)
             # A cache hit leaves no packet to piggyback on: hard-state
             # control payloads travel explicitly, soft-state ones lapse.
             if self.control_survives_serving:
-                self._send_control(node, payloads)
+                self._send_control(node, payloads, trace_id=trace_id)
+            self._carrier_trace = None
             return
         message = QueryMessage(
             key=sim.key, origin=node, issued_at=issued_at
         )
+        message.trace_id = trace_id
         payloads.extend(self._on_local_miss(node))
         if sim.config.piggyback:
             message.control.extend(payloads)
         else:
-            self._send_control(node, payloads)
+            self._send_control(node, payloads, trace_id=trace_id)
+        self._carrier_trace = None
         parent = sim.parent(node)
         if parent is None:  # pragma: no cover - root always has the index
-            sim.record_latency(0, issued_at)
+            sim.record_latency(0, issued_at, trace_id=trace_id)
             return
-        sim.transport.send(parent, message)
+        sim.transport.send(parent, message, sender=node)
 
     def _handle_query(self, node: NodeId, message: QueryMessage) -> None:
         sim = self.sim
-        own_payloads = self._on_query_arrival(node, packet=message)
-        # Piggybacked control bits from downstream are processed at every
-        # hop, free of charge; the node's own payloads are destined for
-        # the parent and therefore appended only afterwards.
-        if message.control:
-            message.control = self._process_control(
-                node, message.control, explicit=False
-            )
-        if sim.config.piggyback:
-            message.control.extend(own_payloads)
-        else:
-            self._send_control(node, own_payloads)
-        message.path.append(node)
-        version = self._lookup(node)
-        if version is not None:
-            # Served here: hard-state leftovers continue explicitly,
-            # soft-state ones die with the packet.
-            leftovers, message.control = message.control, []
-            if self.control_survives_serving:
-                self._send_control(node, leftovers)
-            self._serve(node, message, version)
-            return
-        parent = sim.parent(node)
-        if parent is None:
-            # The root must hold the authoritative copy; reaching here
-            # means the authority was not started - treat as served with
-            # the authority's current version.
-            leftovers, message.control = message.control, []
-            if self.control_survives_serving:
-                self._send_control(node, leftovers)
-            self._serve(node, message, sim.authority.current)
-            return
-        sim.transport.send(parent, message)
+        self._carrier_trace = message.trace_id
+        try:
+            own_payloads = self._on_query_arrival(node, packet=message)
+            # Piggybacked control bits from downstream are processed at
+            # every hop, free of charge; the node's own payloads are
+            # destined for the parent and therefore appended only
+            # afterwards.
+            if message.control:
+                message.control = self._process_control(
+                    node, message.control, explicit=False
+                )
+            if sim.config.piggyback:
+                message.control.extend(own_payloads)
+            else:
+                self._send_control(
+                    node, own_payloads, trace_id=message.trace_id
+                )
+            message.path.append(node)
+            version = self._lookup(node)
+            if version is not None:
+                # Served here: hard-state leftovers continue explicitly,
+                # soft-state ones die with the packet.
+                leftovers, message.control = message.control, []
+                if self.control_survives_serving:
+                    self._send_control(
+                        node, leftovers, trace_id=message.trace_id
+                    )
+                self._serve(node, message, version)
+                return
+            parent = sim.parent(node)
+            if parent is None:
+                # The root must hold the authoritative copy; reaching here
+                # means the authority was not started - treat as served
+                # with the authority's current version.
+                leftovers, message.control = message.control, []
+                if self.control_survives_serving:
+                    self._send_control(
+                        node, leftovers, trace_id=message.trace_id
+                    )
+                self._serve(node, message, sim.authority.current)
+                return
+            sim.transport.send(parent, message, sender=node)
+        finally:
+            self._carrier_trace = None
 
     def _serve(
         self, node: NodeId, message: QueryMessage, version: IndexVersion
@@ -199,13 +224,19 @@ class PathCachingScheme(Scheme):
             request_hops=message.hops,
             issued_at=message.issued_at,
         )
+        reply.inherit_trace(message)
+        sim.trace_annotate(
+            message.trace_id, node, "serve", f"version={version.version}"
+        )
         self._forward_reply(reply)
 
     def _handle_reply(self, node: NodeId, reply: ReplyMessage) -> None:
         sim = self.sim
         self._store_reply(node, reply.version)
         if reply.position == 0:
-            sim.record_latency(reply.request_hops, reply.issued_at)
+            sim.record_latency(
+                reply.request_hops, reply.issued_at, trace_id=reply.trace_id
+            )
             return
         self._forward_reply(reply)
 
@@ -215,6 +246,10 @@ class PathCachingScheme(Scheme):
 
     def _forward_reply(self, reply: ReplyMessage) -> None:
         sim = self.sim
+        # The forwarding hop: captured before ``position`` moves so the
+        # span records who actually relayed the reply (churn may skip
+        # intermediate path entries).
+        sender = reply.path[reply.position]
         reply.position -= 1
         next_node = reply.path[reply.position]
         if not sim.alive(next_node):
@@ -225,18 +260,25 @@ class PathCachingScheme(Scheme):
                 reply.position -= 1
             next_node = reply.path[reply.position]
             if not sim.alive(next_node):
-                sim.transport.drop()
+                sim.transport.drop(reply)
                 sim.note_incomplete_query()
                 return
-        sim.transport.send(next_node, reply)
+        sim.transport.send(next_node, reply, sender=sender)
 
     # ---------------------------------------------------------------- control
-    def _send_control(self, node: NodeId, payloads: list[object]) -> None:
+    def _send_control(
+        self,
+        node: NodeId,
+        payloads: list[object],
+        trace_id: Optional[int] = None,
+    ) -> None:
         """Send payloads explicitly to the parent, one charged hop each.
 
         Payloads are bundled into a single message so that their relative
         order is preserved at every hop; the hop is still charged once per
-        payload.
+        payload.  ``trace_id`` tags the message with the span context of
+        the query that produced the payloads (None for untraced traffic
+        such as TTL-cycle maintenance).
         """
         if not payloads:
             return
@@ -247,13 +289,20 @@ class PathCachingScheme(Scheme):
         message = ControlMessage(
             key=sim.key, payloads=list(payloads), sender=node
         )
+        message.trace_id = trace_id
         sim.transport.send(parent, message, hops=len(payloads))
 
     def _handle_control(self, node: NodeId, message: ControlMessage) -> None:
-        continuations = self._process_control(
-            node, message.payloads, explicit=True
-        )
-        self._send_control(node, continuations)
+        self._carrier_trace = message.trace_id
+        try:
+            continuations = self._process_control(
+                node, message.payloads, explicit=True
+            )
+            self._send_control(
+                node, continuations, trace_id=message.trace_id
+            )
+        finally:
+            self._carrier_trace = None
 
     # -------------------------------------------------------------- dispatch
     def on_message(self, node: NodeId, message: Message) -> None:

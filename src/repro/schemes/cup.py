@@ -103,6 +103,9 @@ class CupScheme(PathCachingScheme):
         refreshed = False
         for payload in payloads:
             if isinstance(payload, CupRegister):
+                self._trace_note(
+                    node, "cup.register", f"child={payload.child}"
+                )
                 table = self._registered.setdefault(node, {})
                 table[payload.child] = self.sim.env.now
                 refreshed = True
@@ -119,18 +122,21 @@ class CupScheme(PathCachingScheme):
     def _handle_push(self, node: NodeId, message: PushMessage) -> None:
         sim = self.sim
         sim.cache(node).put(message.version, sim.env.now)
-        self._push_registered(node, message.version)
+        self._push_registered(
+            node, message.version, trace_id=message.trace_id
+        )
 
-    def _push_registered(self, node: NodeId, version) -> None:
+    def _push_registered(
+        self, node: NodeId, version, trace_id: Optional[int] = None
+    ) -> None:
         sim = self.sim
         for child in self.live_registrations(node):
             if not sim.alive(child):
                 self._registered.get(node, {}).pop(child, None)
                 continue
-            sim.transport.send(
-                child,
-                PushMessage(key=sim.key, version=version, sender=node),
-            )
+            push = PushMessage(key=sim.key, version=version, sender=node)
+            push.trace_id = trace_id
+            sim.transport.send(child, push)
 
     # -- churn ----------------------------------------------------------------
     def on_node_left(self, node: NodeId) -> None:

@@ -115,20 +115,23 @@ class CupIdealScheme(PathCachingScheme):
         if not self.wants_updates(node):
             # Lazy de-registration: this push was wasted on us.
             self._registered_up.discard(node)
-            self._send_control(node, [CupUnregister(node)])
+            self._send_control(
+                node, [CupUnregister(node)], trace_id=message.trace_id
+            )
             return
-        self._push_to_children(node, message.version)
+        self._push_to_children(node, message.version, trace_id=message.trace_id)
 
-    def _push_to_children(self, node: NodeId, version) -> None:
+    def _push_to_children(
+        self, node: NodeId, version, trace_id: Optional[int] = None
+    ) -> None:
         sim = self.sim
         for child in tuple(self.registered_children(node)):
             if not sim.alive(child):
                 self.registered_children(node).discard(child)
                 continue
-            sim.transport.send(
-                child,
-                PushMessage(key=sim.key, version=version, sender=node),
-            )
+            push = PushMessage(key=sim.key, version=version, sender=node)
+            push.trace_id = trace_id
+            sim.transport.send(child, push)
 
     # -- churn ----------------------------------------------------------------
     def on_node_left(self, node: NodeId) -> None:

@@ -77,9 +77,13 @@ class CupPopularityScheme(PathCachingScheme):
     def _handle_push(self, node: NodeId, message: PushMessage) -> None:
         sim = self.sim
         sim.cache(node).put(message.version, sim.env.now)
-        self._push_popular_branches(node, message.version)
+        self._push_popular_branches(
+            node, message.version, trace_id=message.trace_id
+        )
 
-    def _push_popular_branches(self, node: NodeId, version) -> None:
+    def _push_popular_branches(
+        self, node: NodeId, version, trace_id: Optional[int] = None
+    ) -> None:
         sim = self.sim
         now = sim.env.now
         branches = self._branches.get(node)
@@ -94,10 +98,9 @@ class CupPopularityScheme(PathCachingScheme):
             if not sim.alive(child):
                 del branches[child]
                 continue
-            sim.transport.send(
-                child,
-                PushMessage(key=sim.key, version=version, sender=node),
-            )
+            push = PushMessage(key=sim.key, version=version, sender=node)
+            push.trace_id = trace_id
+            sim.transport.send(child, push)
 
     # -- churn ----------------------------------------------------------------
     def on_node_left(self, node: NodeId) -> None:

@@ -99,6 +99,11 @@ class DupScheme(PathCachingScheme):
     ) -> list[object]:
         combined = StepResult()
         for payload in payloads:
+            self._trace_note(
+                node,
+                f"dup.{type(payload).__name__.lower()}",
+                repr(payload),
+            )
             combined.merge(self.protocol.step(node, payload))
         if (
             explicit
@@ -126,18 +131,23 @@ class DupScheme(PathCachingScheme):
         # node's interest lapsed during the last cycle.
         if self.protocol.is_subscribed(node) and not self.is_interested(node):
             result = self.protocol.drop_subscription(node)
-            self._send_control(node, result.upstream)
-        self._push_to_targets(node, message.version)
+            self._send_control(
+                node, result.upstream, trace_id=message.trace_id
+            )
+        self._push_to_targets(
+            node, message.version, trace_id=message.trace_id
+        )
 
-    def _push_to_targets(self, node: NodeId, version) -> None:
+    def _push_to_targets(
+        self, node: NodeId, version, trace_id: Optional[int] = None
+    ) -> None:
         sim = self.sim
         for target in self.protocol.push_targets(node):
             if not sim.alive(target):
                 continue  # repaired by the failure flows
-            sim.transport.send(
-                target,
-                PushMessage(key=sim.key, version=version, sender=node),
-            )
+            push = PushMessage(key=sim.key, version=version, sender=node)
+            push.trace_id = trace_id
+            sim.transport.send(target, push)
 
     def _push_current(self, node: NodeId, targets: list[NodeId]) -> None:
         """Push the node's current valid copy to newly added subscribers."""
@@ -149,10 +159,14 @@ class DupScheme(PathCachingScheme):
             return
         for target in targets:
             if target != node and sim.alive(target):
-                sim.transport.send(
-                    target,
-                    PushMessage(key=sim.key, version=version, sender=node),
+                self._trace_note(
+                    node, "dup.push_current", f"target={target}"
                 )
+                push = PushMessage(
+                    key=sim.key, version=version, sender=node
+                )
+                push.trace_id = self._carrier_trace
+                sim.transport.send(target, push)
 
     # -- churn -------------------------------------------------------------------
     def on_node_joined_edge(

@@ -17,6 +17,8 @@ gap.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.net.message import PushMessage
 from repro.schemes.dup import DupScheme
 
@@ -55,15 +57,20 @@ class DupInvalidateScheme(DupScheme):
             sim.cache(node).put(message.version, sim.env.now)
         if self.protocol.is_subscribed(node) and not self.is_interested(node):
             result = self.protocol.drop_subscription(node)
-            self._send_control(node, result.upstream)
-        self._push_to_targets(node, message.version)
+            self._send_control(
+                node, result.upstream, trace_id=message.trace_id
+            )
+        self._push_to_targets(
+            node, message.version, trace_id=message.trace_id
+        )
 
-    def _push_to_targets(self, node: NodeId, payload) -> None:
+    def _push_to_targets(
+        self, node: NodeId, payload, trace_id: Optional[int] = None
+    ) -> None:
         sim = self.sim
         for target in self.protocol.push_targets(node):
             if not sim.alive(target):
                 continue
-            sim.transport.send(
-                target,
-                PushMessage(key=sim.key, version=payload, sender=node),
-            )
+            push = PushMessage(key=sim.key, version=payload, sender=node)
+            push.trace_id = trace_id
+            sim.transport.send(target, push)

@@ -20,7 +20,7 @@ from repro.stats.distributions import (
     Uniform,
     ZipfSelector,
 )
-from repro.stats.running import RunningStat, TimeWeightedStat
+from repro.stats.running import RunningStat, TimeWeightedStat, percentile
 
 __all__ = [
     "ConfidenceInterval",
@@ -35,4 +35,5 @@ __all__ = [
     "ZipfSelector",
     "batch_means_interval",
     "mean_confidence_interval",
+    "percentile",
 ]

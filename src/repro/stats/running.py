@@ -3,12 +3,38 @@
 :class:`RunningStat` implements Welford's numerically stable online
 algorithm for mean and variance; :class:`TimeWeightedStat` integrates a
 piecewise-constant signal over simulated time (used for, e.g., average
-number of subscribed nodes).
+number of subscribed nodes).  :func:`percentile` is the shared
+linear-interpolation quantile estimator used for the tail-latency
+metrics (p50/p95/p99).
 """
 
 from __future__ import annotations
 
 import math
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` by linear interpolation.
+
+    ``q`` is given in percent (0-100).  Returns ``nan`` for an empty
+    sequence; matches numpy's default ("linear") interpolation so
+    results are consistent with offline analysis of exported samples.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must lie in [0, 100], got {q}")
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(ordered[int(rank)])
+    fraction = rank - lower
+    return float(ordered[lower] * (1 - fraction) + ordered[upper] * fraction)
 
 
 class RunningStat:
