@@ -62,8 +62,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--scale",
         default="bench",
-        choices=("quick", "bench", "paper"),
-        help="parameter scale (default: bench)",
+        choices=("smoke", "quick", "bench", "paper"),
+        help=(
+            "parameter scale (default: bench; 'smoke' is a CI-sized "
+            "variant supported by the resilience study)"
+        ),
     )
     run_parser.add_argument(
         "--replications", type=int, default=2, help="seeds per data point"
@@ -114,6 +117,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=600.0,
         help="simulated seconds between registry snapshots (default: 600)",
     )
+    _add_fault_arguments(sim_parser)
 
     observe_parser = subparsers.add_parser(
         "observe", help="run one fully instrumented simulation"
@@ -150,6 +154,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=5,
         help="slowest traces to print (default: 5)",
     )
+    _add_fault_arguments(observe_parser)
 
     trace_parser = subparsers.add_parser(
         "trace", help="synthesize or replay a query trace"
@@ -167,6 +172,74 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument("--seed", type=int, default=1)
     return parser
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """Resilience flags shared by ``simulate`` and ``observe``."""
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        help="probability each transmission is lost (default: 0)",
+    )
+    group.add_argument(
+        "--duplicate-rate",
+        type=float,
+        default=0.0,
+        help="probability a control/push hop is delivered twice (default: 0)",
+    )
+    group.add_argument(
+        "--silent-failures",
+        action="store_true",
+        help=(
+            "crashed nodes blackhole traffic until suspected instead of "
+            "being oracle-announced to the scheme"
+        ),
+    )
+    group.add_argument(
+        "--retry-budget",
+        type=int,
+        default=0,
+        help=(
+            "retransmissions per reliable delivery for hard-state "
+            "schemes (0 disables the reliable channel)"
+        ),
+    )
+    group.add_argument(
+        "--ack-timeout",
+        type=float,
+        default=2.0,
+        help="initial ack timeout in simulated seconds (default: 2)",
+    )
+    group.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=0.0,
+        help="lease duration for DUP subscriptions (0 disables leases)",
+    )
+
+
+def _fault_overrides(args: argparse.Namespace) -> dict:
+    """SimulationConfig overrides from the resilience flags."""
+    from repro.net.faults import FaultPlan
+
+    overrides: dict = {}
+    plan_fields: dict = {}
+    if args.loss_rate > 0:
+        plan_fields["loss_rate"] = args.loss_rate
+    if args.duplicate_rate > 0:
+        plan_fields["duplicate_rate"] = args.duplicate_rate
+    if args.silent_failures:
+        plan_fields["silent_failures"] = True
+    if plan_fields:
+        overrides["faults"] = FaultPlan(**plan_fields)
+    if args.retry_budget > 0:
+        overrides["retry_budget"] = args.retry_budget
+        overrides["ack_timeout"] = args.ack_timeout
+    if args.lease_ttl > 0:
+        overrides["lease_ttl"] = args.lease_ttl
+    return overrides
 
 
 def _command_list() -> int:
@@ -235,6 +308,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         topology=args.topology,
         seed=args.seed,
+        **_fault_overrides(args),
     )
     print(f"config: {config.describe()}")
     if args.trace_out or args.metrics_out:
@@ -263,6 +337,7 @@ def _command_observe(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         topology=args.topology,
         seed=args.seed,
+        **_fault_overrides(args),
     )
     print(f"config: {config.describe()}")
     result, tracer = _instrumented_run(

@@ -22,6 +22,7 @@ from repro.core.interest import (
     InterestPolicy,
     WindowInterestPolicy,
 )
+from repro.core.leases import LeaseTable
 from repro.core.protocol import DupProtocol, StepResult
 from repro.core.subscriber_list import SubscriberList
 from repro.core.tree_state import check_dup_invariants, push_reachable
@@ -30,6 +31,7 @@ __all__ = [
     "DupProtocol",
     "EwmaInterestPolicy",
     "InterestPolicy",
+    "LeaseTable",
     "StepResult",
     "SubscriberList",
     "WindowInterestPolicy",

@@ -1,0 +1,83 @@
+"""Lease bookkeeping for soft-state DUP subscriptions.
+
+The paper's subscriber lists are pure hard state: once an entry is
+installed it survives until an explicit ``unsubscribe`` — which a
+silently crashed subscriber will never send, leaving its ancestors
+pushing into the void forever.  Attaching a *lease* to every non-self
+entry turns the list soft: interested descendants renew their entry's
+lease each refresh interval (see
+:class:`~repro.net.message.LeaseRefresh`), and a parent whose entry goes
+unrefreshed for a full lease TTL expires it, degrading the tree
+gracefully to the TTL weak-consistency floor every scheme already has.
+
+The table is deliberately dumb — expiry timestamps per (holder, entry)
+pair, no protocol knowledge.  The scheme layer decides what a refresh
+or an expiry *means*; the pure Figure-3 state machine stays untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+NodeId = int
+
+
+class LeaseTable:
+    """Expiry timestamps for the subscriber-list entries a node holds.
+
+    Parameters
+    ----------
+    ttl:
+        Lease duration in simulated seconds.
+    clock:
+        Returns the current simulation time.
+    """
+
+    def __init__(self, ttl: float, clock: Callable[[], float]):
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be > 0, got {ttl}")
+        self.ttl = ttl
+        self._clock = clock
+        self._expiry: dict[NodeId, dict[NodeId, float]] = {}
+
+    def touch(self, holder: NodeId, entry: NodeId) -> None:
+        """Renew (or grant) the lease on ``entry`` held by ``holder``."""
+        self._expiry.setdefault(holder, {})[entry] = self._clock() + self.ttl
+
+    def reconcile(self, holder: NodeId, entries: Iterable[NodeId]) -> None:
+        """Align the table with the holder's actual subscriber list.
+
+        Entries without a lease record are granted a fresh lease (they
+        arrived through a path the scheme does not instrument, e.g. a
+        churn handover); records whose entry is gone are dropped.
+        """
+        current = set(entries)
+        held = self._expiry.setdefault(holder, {})
+        for stale in [entry for entry in held if entry not in current]:
+            del held[stale]
+        deadline = self._clock() + self.ttl
+        for entry in current:
+            held.setdefault(entry, deadline)
+
+    def expired(self, holder: NodeId, now: float) -> tuple[NodeId, ...]:
+        """Entries of ``holder`` whose lease has lapsed at ``now``."""
+        held = self._expiry.get(holder)
+        if not held:
+            return ()
+        return tuple(
+            entry for entry, deadline in held.items() if deadline <= now
+        )
+
+    def drop(self, holder: NodeId, entry: NodeId) -> None:
+        """Forget the lease record for one entry."""
+        held = self._expiry.get(holder)
+        if held is not None:
+            held.pop(entry, None)
+
+    def drop_holder(self, holder: NodeId) -> None:
+        """Forget every lease ``holder`` held (departure/failure)."""
+        self._expiry.pop(holder, None)
+
+    def expiry(self, holder: NodeId, entry: NodeId) -> float:
+        """The lease deadline (``-inf`` when no record exists)."""
+        return self._expiry.get(holder, {}).get(entry, float("-inf"))

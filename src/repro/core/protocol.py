@@ -108,6 +108,20 @@ class DupProtocol:
         """Who ``node`` pushes a received/issued update to (never itself)."""
         return tuple(n for n in self.s_list(node) if n != node)
 
+    def advertisement(self, node: NodeId) -> "NodeId | None":
+        """What ``node`` currently advertises upstream (None if nothing).
+
+        A DUP-tree interior node (>= 2 entries) advertises itself; a
+        relay advertises its single entry; an empty list advertises
+        nothing.
+        """
+        s_list = self.s_list(node)
+        if len(s_list) == 0:
+            return None
+        if len(s_list) >= 2:
+            return node
+        return s_list.first
+
     def nodes_with_state(self) -> tuple[NodeId, ...]:
         """All nodes holding a non-empty subscriber list."""
         return tuple(n for n, lst in self._lists.items() if len(lst) > 0)

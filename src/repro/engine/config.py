@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.net.faults import FaultPlan
 from repro.workload.churn import ChurnConfig
 
 TOPOLOGIES = ("random-tree", "chord", "can", "balanced", "chain", "star")
@@ -92,6 +93,28 @@ class SimulationConfig:
         Retain per-query latencies for confidence intervals.
     churn:
         Optional churn rates (None disables churn).
+
+    Resilience parameters (all off by default; a run with every one of
+    them at its default is bit-identical to a build without the fault
+    layer)
+    ------------------------------------------------------------------
+    faults:
+        Optional :class:`~repro.net.faults.FaultPlan` injecting message
+        loss, duplication, delay jitter, and silent failures.
+    retry_budget:
+        Retransmissions per delivery on the reliable channel DUP's
+        control messages and pushes use (0 disables the channel).
+    ack_timeout:
+        Initial ack timeout of the reliable channel in simulated
+        seconds; attempt ``k`` waits ``ack_timeout * retry_backoff**k``.
+    retry_backoff:
+        Exponential backoff factor for retransmission timeouts.
+    lease_ttl:
+        Lease duration for soft-state subscriptions in simulated
+        seconds (0 disables leases).
+    lease_refresh_interval:
+        How often lease refreshes travel upstream (0 means
+        ``lease_ttl / 3``).
     """
 
     scheme: str = "dup"
@@ -117,6 +140,12 @@ class SimulationConfig:
     count_keepalive: bool = False
     keep_latency_samples: bool = True
     churn: Optional[ChurnConfig] = field(default=None)
+    faults: Optional[FaultPlan] = field(default=None)
+    retry_budget: int = 0
+    ack_timeout: float = 2.0
+    retry_backoff: float = 2.0
+    lease_ttl: float = 0.0
+    lease_refresh_interval: float = 0.0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -176,6 +205,34 @@ class SimulationConfig:
             raise ConfigError(
                 f"interest_policy must be one of {INTEREST_POLICIES}, "
                 f"got {self.interest_policy!r}"
+            )
+        if self.faults is not None:
+            self.faults.validate()
+        if self.retry_budget < 0:
+            raise ConfigError(
+                f"retry_budget must be >= 0, got {self.retry_budget}"
+            )
+        if self.ack_timeout <= 0:
+            raise ConfigError(
+                f"ack_timeout must be positive, got {self.ack_timeout}"
+            )
+        if self.retry_backoff < 1:
+            raise ConfigError(
+                f"retry_backoff must be >= 1, got {self.retry_backoff}"
+            )
+        if self.lease_ttl < 0:
+            raise ConfigError(
+                f"lease_ttl must be >= 0, got {self.lease_ttl}"
+            )
+        if self.lease_refresh_interval < 0:
+            raise ConfigError(
+                "lease_refresh_interval must be >= 0, got "
+                f"{self.lease_refresh_interval}"
+            )
+        if 0 < self.lease_ttl <= self.lease_refresh_interval:
+            raise ConfigError(
+                "lease_refresh_interval must be smaller than lease_ttl "
+                f"({self.lease_refresh_interval} >= {self.lease_ttl})"
             )
 
     def replace(self, **changes) -> "SimulationConfig":

@@ -55,6 +55,10 @@ class _KeySlice:
     metric recorders with every other key.
     """
 
+    #: Interface parity: the multi-key engine has no reliable channel
+    #: (schemes fall back to plain transport sends).
+    reliable = None
+
     def __init__(self, owner: "MultiKeySimulation", key: int, tree):
         self._owner = owner
         self.key = key
@@ -96,6 +100,16 @@ class _KeySlice:
     def alive(self, node: NodeId) -> bool:
         """Whether ``node`` is in the overlay (static here)."""
         return node in self.tree
+
+    def functioning(self, node: NodeId) -> bool:
+        """Interface parity: no fault injection here, so alive == working."""
+        return node in self.tree
+
+    def note_read(self, version: IndexVersion) -> None:
+        """Interface parity: staleness tracking is single-key only."""
+
+    def suspect_peer(self, reporter: NodeId, suspect: NodeId) -> None:
+        """Interface parity: no failures here, so suspicions are moot."""
 
     def cache(self, node: NodeId) -> IndexCache:
         """The node's (shared, multi-key) cache."""

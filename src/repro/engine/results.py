@@ -36,6 +36,7 @@ class SimulationResult:
     wall_seconds: float
     extras: Mapping[str, object] = field(default_factory=dict)
     latency_percentiles: Mapping[str, float] = field(default_factory=dict)
+    stale_read_fraction: float = math.nan
 
     @property
     def report(self) -> MetricsReport:

@@ -35,8 +35,10 @@ from repro.index.entry import IndexVersion
 from repro.metrics.counters import CostLedger
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.registry import MetricsRegistry
-from repro.net.message import Category, Message, ReplyMessage
-from repro.net.transport import Transport
+from repro.net.faults import FaultInjector
+from repro.net.message import AckMessage, Category, Message, ReplyMessage
+from repro.net.reliable import ReliableChannel
+from repro.net.transport import Transport, TransportEvent
 from repro.schemes.registry import make_scheme
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStreams
@@ -77,15 +79,41 @@ class Simulation:
             warmup=config.warmup,
             keep_samples=config.keep_latency_samples,
         )
+        # -- fault layer: only constructed when a plan asks for it, so a
+        # fault-free run is bit-identical to one without the layer.
+        self.injector: Optional[FaultInjector] = None
+        if config.faults is not None and config.faults.enabled:
+            self.injector = FaultInjector(
+                config.faults, self.streams, clock=lambda: self.env.now
+            )
         self.transport = Transport(
             env=self.env,
             latency=Exponential(config.hop_latency_mean),
             rng=self.streams.get("latency"),
             ledger=self.ledger,
+            injector=self.injector,
         )
         self.transport.bind(self._dispatch)
+        self.reliable: Optional[ReliableChannel] = None
+        if config.retry_budget > 0:
+            self.reliable = ReliableChannel(
+                env=self.env,
+                transport=self.transport,
+                retry_budget=config.retry_budget,
+                base_timeout=config.ack_timeout,
+                backoff=config.retry_backoff,
+                on_give_up=self._on_delivery_give_up,
+                functioning=self.functioning,
+            )
         self._caches: dict[NodeId, IndexCache] = {}
         self._incomplete = 0
+        self._reads = 0
+        self._stale_reads = 0
+        self._suspicions = 0
+        self._detection_latency = None
+        self._pending_suspicions: set[tuple[NodeId, NodeId]] = set()
+        if self.injector is not None:
+            self.transport.add_observer(self._observe_fault_drops)
         self._next_node_id = max(self.tree.nodes) + 1
         eligible = [
             node
@@ -124,6 +152,40 @@ class Simulation:
         registry.gauge("transport.dropped", lambda: self.transport.dropped)
         registry.gauge("queries.incomplete", lambda: self._incomplete)
         registry.gauge("population", lambda: float(len(self.tree)))
+        registry.gauge("reads.total", lambda: float(self._reads))
+        registry.gauge("reads.stale", lambda: float(self._stale_reads))
+        registry.gauge("reads.stale_fraction", lambda: self.stale_read_fraction)
+        injector = self.injector
+        if injector is not None:
+            registry.gauge(
+                "faults.injected_losses", lambda: injector.injected_losses
+            )
+            registry.gauge(
+                "faults.injected_duplicates",
+                lambda: injector.injected_duplicates,
+            )
+            registry.gauge("faults.blackholed", lambda: injector.blackholed)
+            if injector.plan.silent_failures:
+                self._detection_latency = registry.histogram(
+                    "faults.detection_latency"
+                )
+                registry.gauge(
+                    "faults.undetected",
+                    lambda: float(len(injector.undetected())),
+                )
+                registry.gauge("faults.suspicions", lambda: self._suspicions)
+        channel = self.reliable
+        if channel is not None:
+            registry.gauge("reliable.retries", lambda: channel.retries)
+            registry.gauge("reliable.acked", lambda: channel.acked)
+            registry.gauge("reliable.give_ups", lambda: channel.give_ups)
+            registry.gauge("reliable.outstanding", lambda: channel.outstanding)
+        if self.config.lease_ttl > 0 and hasattr(
+            self.scheme, "lease_expiries"
+        ):
+            registry.gauge(
+                "leases.expired", lambda: float(self.scheme.lease_expiries)
+            )
 
     # -- construction helpers -----------------------------------------------
     def _build_topology(self) -> tuple[SearchTree, int]:
@@ -159,8 +221,24 @@ class Simulation:
         return self.tree.parent(node)
 
     def alive(self, node: NodeId) -> bool:
-        """Whether ``node`` is currently part of the overlay."""
+        """Whether ``node`` is currently part of the overlay.
+
+        This is the *schemes'* view: a silently failed node is still a
+        member until some survivor detects the crash, so schemes keep
+        sending to it and the transport blackholes the traffic.
+        """
         return node in self.tree
+
+    def functioning(self, node: NodeId) -> bool:
+        """Whether ``node`` is alive *and* actually responding.
+
+        The engine-internal truth: silently failed nodes are members of
+        the overlay but generate no queries, refresh no leases, and emit
+        no repair traffic.
+        """
+        if node not in self.tree:
+            return False
+        return self.injector is None or not self.injector.is_dead(node)
 
     def cache(self, node: NodeId) -> IndexCache:
         """The node's index cache (created lazily)."""
@@ -199,6 +277,111 @@ class Simulation:
     def note_incomplete_query(self) -> None:
         """A query's reply was lost to churn; it never completes."""
         self._incomplete += 1
+
+    def note_read(self, version: IndexVersion) -> None:
+        """A query was answered with ``version``; track staleness.
+
+        A read is *stale* when the served copy is older than the
+        authority's current version — the consistency metric the TTL /
+        push trade-off is about.  Warm-up reads are ignored, matching
+        the other recorders.
+        """
+        if self.env.now < self.config.warmup:
+            return
+        self._reads += 1
+        if (
+            self.authority is not None
+            and version.version < self.authority.current.version
+        ):
+            self._stale_reads += 1
+
+    @property
+    def stale_read_fraction(self) -> float:
+        """Fraction of post-warm-up reads that served a stale version."""
+        if self._reads == 0:
+            return float("nan")
+        return self._stale_reads / self._reads
+
+    def suspect_peer(self, reporter: NodeId, suspect: NodeId) -> None:
+        """``reporter`` concluded that ``suspect`` is unresponsive.
+
+        Raised by exhausted retry budgets and expired leases.  When the
+        suspect really did fail silently, this is the detection moment:
+        the latency since the crash is observed and the full Section
+        III-C repair (:meth:`Scheme.on_node_failed`) finally runs.  A
+        false suspicion of a live node never mutates the overlay — the
+        scheme only cleans up the reporter's local state
+        (:meth:`Scheme.on_peer_suspected`).
+        """
+        self._suspicions += 1
+        injector = self.injector
+        if (
+            injector is not None
+            and injector.is_dead(suspect)
+            and suspect in self.tree
+        ):
+            latency = injector.mark_detected(suspect)
+            if latency is not None and self._detection_latency is not None:
+                self._detection_latency.observe(latency)
+            self.scheme.on_node_failed(suspect)
+            return
+        self.scheme.on_peer_suspected(reporter, suspect)
+
+    def fail_silently(self, victim: NodeId) -> None:
+        """Crash ``victim`` without telling anyone.
+
+        The node stays in the overlay and blackholes traffic until a
+        survivor's suspicion (retry exhaustion or lease expiry) triggers
+        repair through :meth:`suspect_peer`.  Requires a fault plan with
+        ``silent_failures``.
+        """
+        if self.injector is None:
+            raise ConfigError(
+                "fail_silently needs a FaultPlan with silent_failures"
+            )
+        self.injector.mark_failed(victim)
+        if self.reliable is not None:
+            self.reliable.drop_sender(victim)
+
+    def _on_delivery_give_up(
+        self, sender: NodeId, destination: NodeId, message: Message
+    ) -> None:
+        if not self.functioning(sender):
+            return  # the reporter died while its last timer was pending
+        self.suspect_peer(sender, destination)
+
+    def _observe_fault_drops(self, event: TransportEvent) -> None:
+        # Injected losses and blackholes end queries just like churn
+        # drops do; count them so incomplete-query accounting stays
+        # honest under faults.
+        if event.kind != "drop" or event.reason not in ("loss", "blackhole"):
+            return
+        if event.message.category in (Category.QUERY, Category.REPLY):
+            self.note_incomplete_query()
+        if (
+            event.reason == "blackhole"
+            and event.sender is not None
+            and event.destination is not None
+            and event.message.reliable_id is None
+        ):
+            # Unreliable traffic into a dead node: the sender's request
+            # times out and it probes the silent neighbor — the paper's
+            # "when a node detects the failure" moment for nodes that
+            # hold no DUP state (reliable traffic detects via its own
+            # exhausted retries instead).  One timer per (sender, dead
+            # peer) pair at a time.
+            key = (event.sender, event.destination)
+            if key in self._pending_suspicions:
+                return
+            self._pending_suspicions.add(key)
+            timeout = self.config.ack_timeout * (self.config.retry_budget + 1)
+            self.env.call_later(timeout, self._timeout_suspicion, *key)
+
+    def _timeout_suspicion(self, reporter: NodeId, suspect: NodeId) -> None:
+        self._pending_suspicions.discard((reporter, suspect))
+        if not self.functioning(reporter) or suspect not in self.tree:
+            return
+        self.suspect_peer(reporter, suspect)
 
     # -- tracing facade ------------------------------------------------------
     def trace_begin(self, node: NodeId) -> Optional[int]:
@@ -329,10 +512,19 @@ class Simulation:
     # -- internals -----------------------------------------------------------
     def _dispatch(self, destination: NodeId, message: Message) -> None:
         if destination not in self.tree:
-            self.transport.drop(message)
+            self.transport.drop(message, destination=destination)
             if isinstance(message, ReplyMessage):
                 self.note_incomplete_query()
             return
+        channel = self.reliable
+        if channel is not None:
+            if isinstance(message, AckMessage):
+                channel.on_ack(destination, message)
+                return
+            if message.reliable_id is not None and not channel.deliver(
+                destination, message
+            ):
+                return  # retransmission duplicate: already processed
         self.scheme.on_message(destination, message)
 
     def _on_new_version(self, version: IndexVersion) -> None:
@@ -350,8 +542,8 @@ class Simulation:
         churning = config.churn is not None and config.churn.enabled
         while True:
             yield self.env.timeout(arrivals.next_gap())
-            if churning:
-                node = self.selector.sample_alive(draws, self.alive)
+            if churning or self.injector is not None:
+                node = self.selector.sample_alive(draws, self.functioning)
                 if node is None:
                     continue
             else:
@@ -374,7 +566,8 @@ class Simulation:
 
     def _apply_churn(self, process: ChurnProcess) -> None:
         kind = process.next_kind()
-        non_root = [n for n in self.tree.nodes if n != self.tree.root]
+        members = [n for n in self.tree.nodes if self.functioning(n)]
+        non_root = [n for n in members if n != self.tree.root]
         if kind is ChurnEvent.JOIN_EDGE:
             if not non_root:
                 return
@@ -384,14 +577,23 @@ class Simulation:
                 self.allocate_node_id(), upper, lower
             )
         elif kind is ChurnEvent.JOIN_LEAF:
-            parent = process.pick_victim(list(self.tree.nodes))
+            if not members:
+                return
+            parent = process.pick_victim(members)
             self.scheme.on_node_joined_leaf(parent, self.allocate_node_id())
         else:
-            if len(self.tree) <= process.config.min_population or not non_root:
+            if len(members) <= process.config.min_population or not non_root:
                 return
             victim = process.pick_victim(non_root)
             if kind is ChurnEvent.LEAVE:
                 self.scheme.on_node_left(victim)
+            elif (
+                self.injector is not None
+                and self.injector.plan.silent_failures
+            ):
+                # Silent mode: the victim blackholes traffic until a
+                # survivor suspects it; no oracle notification.
+                self.fail_silently(victim)
             else:
                 self.scheme.on_node_failed(victim)
 
@@ -435,6 +637,28 @@ class Simulation:
             extras["subscribed"] = len(self.scheme.subscribed_nodes())
         if hasattr(self.scheme, "dup_tree_size"):
             extras["dup_tree_size"] = self.scheme.dup_tree_size()
+        injector = self.injector
+        if injector is not None:
+            extras["injected_losses"] = injector.injected_losses
+            extras["injected_duplicates"] = injector.injected_duplicates
+            extras["blackholed"] = injector.blackholed
+            if injector.plan.silent_failures:
+                extras["undetected_failures"] = len(injector.undetected())
+                extras["suspicions"] = self._suspicions
+                histogram = self._detection_latency
+                if histogram is not None and histogram.count:
+                    summary = histogram.summary()
+                    extras["detection_count"] = summary["count"]
+                    extras["detection_p50"] = summary["p50"]
+                    extras["detection_p95"] = summary["p95"]
+        if self.reliable is not None:
+            extras["retries"] = self.reliable.retries
+            extras["acked"] = self.reliable.acked
+            extras["delivery_give_ups"] = self.reliable.give_ups
+        if self.config.lease_ttl > 0 and hasattr(
+            self.scheme, "lease_expiries"
+        ):
+            extras["lease_expiries"] = self.scheme.lease_expiries
         keep = self.config.keep_latency_samples and self.latency.count
         return SimulationResult(
             config=self.config,
@@ -451,4 +675,5 @@ class Simulation:
             wall_seconds=wall_seconds,
             extras=extras,
             latency_percentiles=self.latency.percentiles() if keep else {},
+            stale_read_fraction=self.stale_read_fraction,
         )

@@ -15,6 +15,7 @@ from repro.experiments import (
     figure7_zipf,
     figure8_pareto,
     paper_spotcheck,
+    resilience_study,
     table2_threshold,
     table3_network_size,
 )
@@ -29,6 +30,7 @@ _REGISTRY: dict[str, Callable] = {
     "figure8": figure8_pareto.run,
     "churn": churn_study.run,
     "convergence": convergence.run,
+    "resilience": resilience_study.run,
     "paper-spotcheck": paper_spotcheck.run,
     "ablations": ablations.run,
     "ablation-cutoff": ablations.run_cut_off,
@@ -49,7 +51,7 @@ def run_all(scale: str = "quick", replications: int = 1, seed: int = 1):
     """
     results = []
     for name, runner in _REGISTRY.items():
-        if name in ("all", "paper-spotcheck") or name.startswith(
+        if name in ("all", "paper-spotcheck", "resilience") or name.startswith(
             "ablation-"
         ):
             continue  # covered elsewhere / deliberately slow

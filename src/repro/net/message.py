@@ -84,6 +84,22 @@ class RefreshSubscribe:
 
 
 @dataclass(frozen=True)
+class LeaseRefresh:
+    """Soft-state lease renewal: keep ``subject``'s entry alive upstream.
+
+    Sent periodically by every node holding DUP state to its parent,
+    naming the node's current upstream *advertisement* (itself when it is
+    DUP-tree interior, its sole subscriber otherwise).  A parent that
+    lists the subject renews the entry's lease; one that does not treats
+    the refresh as a :class:`Subscribe`, healing state lost to message
+    loss or a false expiry.  Lease traffic is deliberately unreliable —
+    it is the redundancy that makes the rest of the state soft.
+    """
+
+    subject: NodeId
+
+
+@dataclass(frozen=True)
 class CupRegister:
     """CUP: ``child`` registers with the receiving node for pushes."""
 
@@ -118,6 +134,9 @@ class Message:
 
     category: Category = field(default=Category.CONTROL, init=False)
     trace_id: Optional[int] = field(default=None, init=False)
+    #: Delivery id set by the reliable channel when this message is sent
+    #: with ack/retry semantics (None for ordinary fire-and-forget hops).
+    reliable_id: Optional[int] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         self.sequence = next(_sequence)
@@ -221,6 +240,24 @@ class ControlMessage(Message):
     """
 
     payloads: list[ControlPayload]
+    sender: NodeId
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.category = Category.CONTROL
+
+
+@dataclass
+class AckMessage(Message):
+    """Delivery acknowledgement for the reliable channel.
+
+    ``acked`` names the :attr:`Message.reliable_id` being confirmed.
+    Acks travel one charged control hop, are themselves fire-and-forget
+    (a lost ack costs a retransmission, nothing more), and are consumed
+    by the engine before scheme dispatch.
+    """
+
+    acked: int
     sender: NodeId
 
     def __post_init__(self) -> None:

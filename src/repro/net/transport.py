@@ -19,6 +19,13 @@ of callables registered with :meth:`Transport.add_observer` receive a
 :class:`TransportEvent` for every send, delivery, and drop.  The
 message log and the trace collector are both built on this tap, so they
 stack freely and never touch the delivery handler.
+
+An optional :class:`~repro.net.faults.FaultInjector` sits between send
+and delivery: it may lose a transmission outright (the hop stays
+charged — the network carried it), deliver it twice, stretch its delay,
+or swallow it at a silently failed destination (blackhole).  Without an
+injector none of those paths exist and the transport behaves exactly as
+before — fault support is zero-cost when off.
 """
 
 from __future__ import annotations
@@ -44,16 +51,22 @@ class TransportEvent:
     ----------
     kind:
         ``"send"`` (hop scheduled), ``"deliver"`` (hop completed), or
-        ``"drop"`` (message lost to churn).
+        ``"drop"`` (message lost).
     time:
         Simulation time of the event.
     destination:
-        Receiving node (``None`` for drops whose target is unknown).
+        Receiving node (``None`` only for drops whose target is truly
+        unknown).
     message:
         The message involved.
     sender:
-        Transmitting node when known (sends only; derived from the
-        message where possible).
+        Transmitting node when known (derived from the message where
+        possible).
+    reason:
+        For drops: why the message was lost — ``"churn"`` (destination
+        left the overlay), ``"loss"`` (injected message loss),
+        ``"blackhole"`` (silently failed destination), or ``"path"``
+        (a reply found its remaining path dead).
     """
 
     kind: str
@@ -61,9 +74,18 @@ class TransportEvent:
     destination: Optional[NodeId]
     message: Message
     sender: Optional[NodeId] = None
+    reason: Optional[str] = None
 
 
 TransportObserver = Callable[[TransportEvent], None]
+
+
+def _derive_sender(message: Message) -> Optional[NodeId]:
+    """Best-effort transmitting node for observer/drop attribution."""
+    sender = getattr(message, "sender", None)
+    if sender is None and isinstance(message, QueryMessage):
+        sender = message.path[-1]
+    return sender
 
 
 class Transport:
@@ -82,6 +104,9 @@ class Transport:
     handler:
         Callback invoked as ``handler(destination, message)`` on delivery;
         set by the engine after node handlers exist (see :meth:`bind`).
+    injector:
+        Optional :class:`repro.net.faults.FaultInjector` consulted on
+        every send and delivery (see :meth:`use_injector`).
     """
 
     def __init__(
@@ -91,18 +116,29 @@ class Transport:
         rng: np.random.Generator,
         ledger: "object",
         handler: Optional[DeliveryHandler] = None,
+        injector: Optional["object"] = None,
     ):
         self._env = env
         self._latency = latency
         self._rng = rng
         self._ledger = ledger
         self._handler = handler
+        self._injector = injector
         self._dropped = 0
         self._observers: list[TransportObserver] = []
 
     def bind(self, handler: DeliveryHandler) -> None:
         """Set the delivery callback (must happen before the first send)."""
         self._handler = handler
+
+    def use_injector(self, injector: Optional["object"]) -> None:
+        """Install (or clear) the fault injector."""
+        self._injector = injector
+
+    @property
+    def injector(self) -> Optional["object"]:
+        """The installed fault injector, if any."""
+        return self._injector
 
     # -- observer tap -------------------------------------------------------
     def add_observer(self, observer: TransportObserver) -> TransportObserver:
@@ -134,7 +170,7 @@ class Transport:
 
     @property
     def dropped(self) -> int:
-        """Messages dropped because the destination vanished (churn)."""
+        """Messages dropped for any reason (churn, loss, blackhole)."""
         return self._dropped
 
     def send(
@@ -166,11 +202,11 @@ class Transport:
             raise RuntimeError("transport used before bind()")
         if not free:
             self._ledger.charge(message.category, hops)
-        if self._observers:
+        injector = self._injector
+        if self._observers or injector is not None:
             if sender is None:
-                sender = getattr(message, "sender", None)
-                if sender is None and isinstance(message, QueryMessage):
-                    sender = message.path[-1]
+                sender = _derive_sender(message)
+        if self._observers:
             self._notify(
                 TransportEvent(
                     kind="send",
@@ -180,10 +216,40 @@ class Transport:
                     sender=sender,
                 )
             )
+        if injector is not None:
+            if injector.should_drop(message):
+                # The hop was charged — the network carried the message;
+                # the receiver just never saw it.
+                self.drop(
+                    message,
+                    destination=destination,
+                    sender=sender,
+                    reason="loss",
+                )
+                return
+            if injector.should_duplicate(message):
+                self._env.call_later(
+                    injector.duplicate_delay(self._latency),
+                    self._deliver,
+                    destination,
+                    message,
+                )
         delay = self._latency.sample(self._rng)
+        if injector is not None:
+            delay += injector.extra_delay()
         self._env.call_later(delay, self._deliver, destination, message)
 
     def _deliver(self, destination: NodeId, message: Message) -> None:
+        injector = self._injector
+        if injector is not None and injector.is_dead(destination):
+            injector.note_blackholed()
+            self.drop(
+                message,
+                destination=destination,
+                sender=_derive_sender(message),
+                reason="blackhole",
+            )
+            return
         if self._observers:
             self._notify(
                 TransportEvent(
@@ -195,15 +261,31 @@ class Transport:
             )
         self._handler(destination, message)
 
-    def drop(self, message: Optional[Message] = None) -> None:
-        """Record a message lost to churn (destination left the overlay)."""
+    def drop(
+        self,
+        message: Optional[Message] = None,
+        destination: Optional[NodeId] = None,
+        sender: Optional[NodeId] = None,
+        reason: str = "churn",
+    ) -> None:
+        """Record a lost message, attributing the loss to a link.
+
+        ``destination`` and ``sender`` identify the link the message died
+        on (the sender is derived from the message when omitted);
+        ``reason`` distinguishes churn drops from injected losses,
+        blackholes, and dead reply paths.
+        """
         self._dropped += 1
         if self._observers and message is not None:
+            if sender is None:
+                sender = _derive_sender(message)
             self._notify(
                 TransportEvent(
                     kind="drop",
                     time=self._env.now,
-                    destination=None,
+                    destination=destination,
                     message=message,
+                    sender=sender,
+                    reason=reason,
                 )
             )

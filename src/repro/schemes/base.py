@@ -38,6 +38,13 @@ class Scheme(abc.ABC):
     #: Registry name, e.g. ``"dup"``.
     name: str = "abstract"
 
+    #: Whether this scheme's control messages and pushes ride the
+    #: reliable (ack + retransmit) channel when the engine provides one.
+    #: Hard-state protocols (DUP) opt in: a lost subscribe corrupts tree
+    #: state forever.  Soft-state protocols stay unreliable — their
+    #: state self-repairs within a TTL.
+    reliable_delivery: bool = False
+
     def __init__(self) -> None:
         self.sim: "Simulation | None" = None
         #: Span context of the message currently being processed (set by
@@ -86,6 +93,15 @@ class Scheme(abc.ABC):
         """A node crashed."""
         self.sim.tree.splice_out(node)
         self.sim.forget_node(node)
+
+    def on_peer_suspected(self, reporter: NodeId, suspect: NodeId) -> None:
+        """``reporter`` suspects ``suspect`` is dead, but it is alive.
+
+        A false suspicion (e.g. acks lost to message loss rather than a
+        crash) must never splice a live node out of the overlay; schemes
+        may at most clean up the reporter's *local* state.  Default:
+        nothing.
+        """
 
 
 class PathCachingScheme(Scheme):
@@ -142,6 +158,7 @@ class PathCachingScheme(Scheme):
         version = self._lookup(node)
         if version is not None:
             sim.record_latency(0, issued_at, trace_id=trace_id)
+            sim.note_read(version)
             # A cache hit leaves no packet to piggyback on: hard-state
             # control payloads travel explicitly, soft-state ones lapse.
             if self.control_survives_serving:
@@ -237,6 +254,7 @@ class PathCachingScheme(Scheme):
             sim.record_latency(
                 reply.request_hops, reply.issued_at, trace_id=reply.trace_id
             )
+            sim.note_read(reply.version)
             return
         self._forward_reply(reply)
 
@@ -260,7 +278,12 @@ class PathCachingScheme(Scheme):
                 reply.position -= 1
             next_node = reply.path[reply.position]
             if not sim.alive(next_node):
-                sim.transport.drop(reply)
+                sim.transport.drop(
+                    reply,
+                    destination=next_node,
+                    sender=sender,
+                    reason="path",
+                )
                 sim.note_incomplete_query()
                 return
         sim.transport.send(next_node, reply, sender=sender)
@@ -290,7 +313,11 @@ class PathCachingScheme(Scheme):
             key=sim.key, payloads=list(payloads), sender=node
         )
         message.trace_id = trace_id
-        sim.transport.send(parent, message, hops=len(payloads))
+        channel = sim.reliable
+        if self.reliable_delivery and channel is not None:
+            channel.send(parent, message, sender=node, hops=len(payloads))
+        else:
+            sim.transport.send(parent, message, hops=len(payloads))
 
     def _handle_control(self, node: NodeId, message: ControlMessage) -> None:
         self._carrier_trace = message.trace_id

@@ -19,12 +19,19 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.interest import InterestPolicy
+from repro.core.leases import LeaseTable
 from repro.core.maintenance import DupMaintenance
 from repro.core.protocol import DupProtocol, StepResult
 from repro.net.message import (
     Category,
+    ControlMessage,
+    LeaseRefresh,
     PushMessage,
     QueryMessage,
+    RefreshSubscribe,
+    Subscribe,
+    Substitute,
+    Unsubscribe,
 )
 from repro.schemes.base import PathCachingScheme
 
@@ -36,11 +43,18 @@ class DupScheme(PathCachingScheme):
 
     name = "dup"
 
+    #: DUP's subscriber lists are hard state: a lost subscribe or
+    #: substitute corrupts the tree until explicitly repaired, so control
+    #: messages and pushes ride the reliable channel when one is enabled.
+    reliable_delivery = True
+
     def __init__(self) -> None:
         super().__init__()
         self.protocol: DupProtocol | None = None
         self.maintenance: DupMaintenance | None = None
         self._trackers: dict[NodeId, InterestPolicy] = {}
+        self._leases: LeaseTable | None = None
+        self._lease_expiries = 0
 
     def bind(self, sim) -> None:
         super().bind(sim)
@@ -51,6 +65,18 @@ class DupScheme(PathCachingScheme):
             emit=self._emit_maintenance,
             charge=self._charge_maintenance,
         )
+        if sim.config.lease_ttl > 0:
+            self._leases = LeaseTable(
+                sim.config.lease_ttl, clock=lambda: sim.env.now
+            )
+            sim.env.process(
+                self._lease_refresh_loop(),
+                name=f"dup-lease-refresh-{sim.key}",
+            )
+            sim.env.process(
+                self._lease_expiry_loop(),
+                name=f"dup-lease-expiry-{sim.key}",
+            )
 
     # -- interest ------------------------------------------------------------
     def tracker(self, node: NodeId) -> InterestPolicy:
@@ -104,7 +130,11 @@ class DupScheme(PathCachingScheme):
                 f"dup.{type(payload).__name__.lower()}",
                 repr(payload),
             )
+            if isinstance(payload, LeaseRefresh):
+                self._handle_lease_refresh(node, payload, combined)
+                continue
             combined.merge(self.protocol.step(node, payload))
+            self._note_lease_activity(node, payload)
         if (
             explicit
             and self.sim.config.immediate_push
@@ -147,7 +177,7 @@ class DupScheme(PathCachingScheme):
                 continue  # repaired by the failure flows
             push = PushMessage(key=sim.key, version=version, sender=node)
             push.trace_id = trace_id
-            sim.transport.send(target, push)
+            self._send_push(target, push)
 
     def _push_current(self, node: NodeId, targets: list[NodeId]) -> None:
         """Push the node's current valid copy to newly added subscribers."""
@@ -166,7 +196,21 @@ class DupScheme(PathCachingScheme):
                     key=sim.key, version=version, sender=node
                 )
                 push.trace_id = self._carrier_trace
-                sim.transport.send(target, push)
+                self._send_push(target, push)
+
+    def _send_push(self, target: NodeId, push: PushMessage) -> None:
+        """One push hop, acked and retried when the channel exists.
+
+        An unacked push is also DUP's failure detector for silently dead
+        subscribers: retry exhaustion raises a suspicion that triggers
+        the Section III-C repair flows.
+        """
+        sim = self.sim
+        channel = sim.reliable
+        if channel is not None:
+            channel.send(target, push, sender=push.sender)
+        else:
+            sim.transport.send(target, push)
 
     # -- churn -------------------------------------------------------------------
     def on_node_joined_edge(
@@ -180,23 +224,137 @@ class DupScheme(PathCachingScheme):
     def on_node_left(self, node: NodeId) -> None:
         self.maintenance.node_left(node)
         self._trackers.pop(node, None)
+        if self._leases is not None:
+            self._leases.drop_holder(node)
         self.sim.forget_node(node)
 
     def on_node_failed(self, node: NodeId) -> None:
         self.maintenance.node_failed(node)
         self._trackers.pop(node, None)
+        if self._leases is not None:
+            self._leases.drop_holder(node)
         self.sim.forget_node(node)
 
     def on_root_failed(self, new_root: NodeId) -> None:
         """Authority failure (paper failure case 5)."""
         self.maintenance.root_failed(new_root)
 
+    def on_peer_suspected(self, reporter: NodeId, suspect: NodeId) -> None:
+        """Local-only cleanup after a suspicion of a node still alive.
+
+        The suspect's entry leaves the reporter's list (it stopped
+        acking / refreshing, so pushes to it are wasted) but the overlay
+        is untouched: if the suspect is in fact healthy its next lease
+        refresh arrives with an unknown subject and re-subscribes it
+        (see :meth:`_handle_lease_refresh`).
+        """
+        if suspect not in self.protocol.s_list(reporter):
+            return
+        if self._leases is not None:
+            self._leases.drop(reporter, suspect)
+        result = self.protocol.step(reporter, Unsubscribe(suspect))
+        self._send_control(reporter, result.upstream)
+
     # -- maintenance plumbing ------------------------------------------------------
     def _emit_maintenance(self, from_node: NodeId, payload: object) -> None:
+        if not self.sim.functioning(from_node):
+            # A silently failed node cannot originate repair traffic;
+            # its orphans stay dark until leases or retries expose them.
+            return
         self._send_control(from_node, [payload])
 
     def _charge_maintenance(self, hops: int) -> None:
         self.sim.ledger.charge(Category.CONTROL, hops)
+
+    # -- leases --------------------------------------------------------------------
+    @property
+    def lease_expiries(self) -> int:
+        """How many subscriber-list entries lapsed without refresh."""
+        return self._lease_expiries
+
+    def _note_lease_activity(self, node: NodeId, payload: object) -> None:
+        """Grant / renew / drop lease records as control payloads mutate
+        the node's subscriber list."""
+        leases = self._leases
+        if leases is None:
+            return
+        s_list = self.protocol.s_list(node)
+        if isinstance(payload, (Subscribe, RefreshSubscribe)):
+            subject = payload.subject
+            if subject != node and subject in s_list:
+                leases.touch(node, subject)
+        elif isinstance(payload, Unsubscribe):
+            leases.drop(node, payload.subject)
+        elif isinstance(payload, Substitute):
+            leases.drop(node, payload.old)
+            if payload.new != node and payload.new in s_list:
+                leases.touch(node, payload.new)
+
+    def _handle_lease_refresh(
+        self, node: NodeId, payload: LeaseRefresh, combined: StepResult
+    ) -> None:
+        leases = self._leases
+        if leases is None:
+            return  # refresh from a differently-configured run: ignore
+        subject = payload.subject
+        if subject in self.protocol.s_list(node):
+            leases.touch(node, subject)
+            return
+        # Unknown subject: the entry was expired (or its subscribe was
+        # lost before the reliable channel existed).  Self-heal by
+        # treating the refresh as a subscribe.
+        combined.merge(self.protocol.step(node, Subscribe(subject)))
+        self._note_lease_activity(node, Subscribe(subject))
+
+    def _lease_refresh_loop(self):
+        sim = self.sim
+        interval = (
+            sim.config.lease_refresh_interval or self._leases.ttl / 3.0
+        )
+        while True:
+            yield sim.env.timeout(interval)
+            for node in self.protocol.nodes_with_state():
+                if sim.is_root(node) or not sim.functioning(node):
+                    continue
+                advertisement = self.protocol.advertisement(node)
+                if advertisement is None:
+                    continue
+                parent = sim.parent(node)
+                if parent is None:
+                    continue
+                # Deliberately unreliable: a lost refresh is absorbed by
+                # the lease slack, and an expired entry self-heals on
+                # the next refresh that does arrive.
+                message = ControlMessage(
+                    key=sim.key,
+                    payloads=[LeaseRefresh(advertisement)],
+                    sender=node,
+                )
+                sim.transport.send(parent, message)
+
+    def _lease_expiry_loop(self):
+        sim = self.sim
+        interval = self._leases.ttl / 4.0
+        while True:
+            yield sim.env.timeout(interval)
+            for node in list(self.protocol.nodes_with_state()):
+                if not sim.functioning(node):
+                    continue
+                entries = [
+                    entry
+                    for entry in self.protocol.s_list(node).snapshot()
+                    if entry != node
+                ]
+                self._leases.reconcile(node, entries)
+                for entry in self._leases.expired(node, sim.env.now):
+                    self._lease_expired(node, entry)
+
+    def _lease_expired(self, node: NodeId, entry: NodeId) -> None:
+        self._lease_expiries += 1
+        self._leases.drop(node, entry)
+        # The suspicion routes to the full Section III-C repair when the
+        # entry really is dead, or to local cleanup when it is alive.
+        self.sim.suspect_peer(node, entry)
 
     # -- introspection (used by experiments/tests) -----------------------------------
     def subscribed_nodes(self) -> tuple[NodeId, ...]:
