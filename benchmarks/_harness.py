@@ -5,21 +5,43 @@ scale (trimmed population/horizon; identical sweeps and shapes).  The
 rendered rows are printed and also written to ``benchmarks/results/`` so
 the numbers survive pytest's output capture; the shape checks assert the
 paper's qualitative claims.
+
+Alongside the rendered ``<experiment>.txt``, every run also records a
+``BENCH_<experiment>.json`` with the wall-clock seconds and the worker
+count used (see :func:`repro.engine.parallel.resolve_workers`), so the
+speedup trajectory of the parallel engine is visible across commits —
+compare ``wall_seconds`` at ``workers=1`` vs ``workers=N`` on the same
+machine.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import pathlib
+import time
+
+from repro.engine.parallel import resolve_workers
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def _clean(value):
+    """JSON-safe copy of a row value (NaN/inf have no JSON encoding)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
 def run_experiment(benchmark, runner, **kwargs):
     """Run ``runner`` once under pytest-benchmark and persist its output."""
+    start = time.perf_counter()
     outcome = benchmark.pedantic(
         lambda: runner(**kwargs), rounds=1, iterations=1
     )
+    wall = time.perf_counter() - start
     results = outcome if isinstance(outcome, list) else [outcome]
+    workers = resolve_workers(kwargs.get("workers"))
     RESULTS_DIR.mkdir(exist_ok=True)
     for result in results:
         text = result.render()
@@ -27,6 +49,21 @@ def run_experiment(benchmark, runner, **kwargs):
         print(text)
         path = RESULTS_DIR / f"{result.experiment_id}.txt"
         path.write_text(text + "\n", encoding="utf-8")
+        record = {
+            "experiment_id": result.experiment_id,
+            "wall_seconds": round(wall, 3),
+            "workers": workers,
+            "all_shapes_hold": result.all_shapes_hold,
+            "rows": [
+                {key: _clean(value) for key, value in row.items()}
+                for row in result.rows
+            ],
+        }
+        bench_path = RESULTS_DIR / f"BENCH_{result.experiment_id}.json"
+        bench_path.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     return results
 
 

@@ -72,6 +72,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replications", type=int, default=2, help="seeds per data point"
     )
     run_parser.add_argument("--seed", type=int, default=1, help="root seed")
+    run_parser.add_argument(
+        "--workers",
+        default="auto",
+        metavar="N",
+        help=(
+            "worker processes for the trial fan-out: an integer or 'auto' "
+            "(default) for one per core; results are bit-identical for "
+            "every worker count, and --workers 1 runs the serial path"
+        ),
+    )
 
     sim_parser = subparsers.add_parser(
         "simulate", help="run one ad-hoc simulation"
@@ -253,10 +263,24 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    from repro.engine.parallel import resolve_workers, set_default_progress
+
     runner = get_experiment(args.experiment)
-    outcome = runner(
-        scale=args.scale, replications=args.replications, seed=args.seed
-    )
+    workers = resolve_workers(args.workers)
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    previous = set_default_progress(progress)
+    try:
+        outcome = runner(
+            scale=args.scale,
+            replications=args.replications,
+            seed=args.seed,
+            workers=workers,
+        )
+    finally:
+        set_default_progress(previous)
     results = outcome if isinstance(outcome, list) else [outcome]
     failed = False
     for result in results:

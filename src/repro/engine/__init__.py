@@ -1,19 +1,39 @@
 """Simulation engine: configuration, wiring, and replication running."""
 
 from repro.engine.config import SimulationConfig
+from repro.engine.parallel import (
+    ParallelRunner,
+    TrialSpec,
+    resolve_workers,
+    set_default_progress,
+)
 from repro.engine.results import ComparisonResult, ReplicatedResult, SimulationResult
 from repro.engine.multikey import MultiKeySimulation
-from repro.engine.runner import compare_schemes, run_replications, run_simulation
+from repro.engine.runner import (
+    compare_many,
+    compare_schemes,
+    replicate_many,
+    run_replications,
+    run_simulation,
+    sweep,
+)
 from repro.engine.simulation import Simulation
 
 __all__ = [
     "ComparisonResult",
     "MultiKeySimulation",
+    "ParallelRunner",
     "ReplicatedResult",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
+    "TrialSpec",
+    "compare_many",
     "compare_schemes",
+    "replicate_many",
+    "resolve_workers",
     "run_replications",
     "run_simulation",
+    "set_default_progress",
+    "sweep",
 ]

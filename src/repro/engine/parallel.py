@@ -1,0 +1,254 @@
+"""Multiprocess fan-out for the experiment engine.
+
+Every paper sweep is embarrassingly parallel: each ``(sweep point,
+scheme, replication)`` trial is one fully independent simulation whose
+randomness is a pure function of its derived seed
+(:func:`repro.sim.rng.derive_trial_seed`).  :class:`ParallelRunner`
+distributes trials across a process pool and reassembles the results in
+trial order, so the merged output is **bit-identical** to a serial run
+regardless of worker count or scheduling: a worker never mutates shared
+state, it only returns a picklable :class:`SimulationResult` plus a
+frozen copy of its run's :class:`~repro.metrics.registry.MetricsRegistry`.
+
+``workers=1`` bypasses the pool entirely and executes trials inline in
+submission order — exactly the historical serial code path.  Worker
+failures are propagated to the caller as :class:`ExperimentError` naming
+the failing experiment, sweep point, scheme, replication, and seed.
+
+Worker-count resolution (:func:`resolve_workers`):
+
+- an explicit integer is used as-is;
+- ``"auto"`` (the CLI default) uses every available core;
+- ``None`` (the library default) consults the ``REPRO_WORKERS``
+  environment variable — the CI matrix sets ``REPRO_WORKERS=2`` to drive
+  the whole tier-1 suite through the pool path — and falls back to
+  serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.engine.config import SimulationConfig
+from repro.engine.results import SimulationResult
+from repro.engine.simulation import Simulation
+from repro.errors import ExperimentError
+from repro.metrics.registry import FrozenMetrics
+
+#: Environment variable consulted when no worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+_default_progress: Optional[Callable[[str], None]] = None
+
+
+def set_default_progress(
+    callback: Optional[Callable[[str], None]],
+) -> Optional[Callable[[str], None]]:
+    """Install a process-wide progress sink; returns the previous one.
+
+    The CLI points this at stderr so sweeps report per-point completion
+    without threading a callback through every experiment signature.
+    ``None`` silences progress (the default, keeping test output clean).
+    """
+    global _default_progress
+    previous = _default_progress
+    _default_progress = callback
+    return previous
+
+
+def resolve_workers(workers: "int | str | None" = None) -> int:
+    """Normalize a worker-count request to a concrete positive integer."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        workers = env
+    if isinstance(workers, str):
+        if workers.lower() == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            workers = int(workers)
+        except ValueError:
+            raise ExperimentError(
+                f"workers must be an integer or 'auto', got {workers!r}"
+            ) from None
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One unit of sweep work: a fully seeded simulation configuration.
+
+    ``experiment``, ``point``, ``scheme``, and ``replication`` are labels
+    for progress reporting and failure attribution; the configuration
+    alone determines the trial's behaviour.
+    """
+
+    config: SimulationConfig
+    experiment: str = ""
+    point: object = None
+    scheme: str = ""
+    replication: int = 0
+
+    def describe(self) -> str:
+        """Human-readable trial identity (used in progress/errors)."""
+        parts = [self.experiment or "trial"]
+        if self.point is not None:
+            parts.append(f"point={self.point}")
+        parts.append(f"scheme={self.scheme or self.config.scheme}")
+        parts.append(f"rep={self.replication}")
+        parts.append(f"seed={self.config.seed}")
+        return " ".join(parts)
+
+
+def _execute(spec: TrialSpec) -> tuple[SimulationResult, FrozenMetrics]:
+    """Worker-side entry point: run one trial, return picklable payloads."""
+    sim = Simulation(spec.config)
+    result = sim.run()
+    return result, sim.registry.freeze()
+
+
+class ParallelRunner:
+    """Fans trials out over a process pool, merging results in order.
+
+    Parameters
+    ----------
+    workers:
+        Worker-count request (see :func:`resolve_workers`).
+    progress:
+        Per-trial completion callback receiving one formatted line; when
+        omitted, the process-wide default installed via
+        :func:`set_default_progress` is used.
+    experiment:
+        Label stamped onto progress lines and failure messages for specs
+        that do not carry their own.
+
+    After :meth:`run_trials` returns, :attr:`metrics` holds the merged
+    :class:`FrozenMetrics` of every trial (pool path only; the serial
+    path adds no instrumentation overhead, exactly like the historical
+    runner).
+    """
+
+    def __init__(
+        self,
+        workers: "int | str | None" = None,
+        progress: Optional[Callable[[str], None]] = None,
+        experiment: str = "",
+    ):
+        self.workers = resolve_workers(workers)
+        self._progress = progress
+        self.experiment = experiment
+        self.metrics: Optional[FrozenMetrics] = None
+
+    # -- execution -----------------------------------------------------------
+    def run_trials(
+        self, specs: Iterable[TrialSpec]
+    ) -> list[SimulationResult]:
+        """Execute every trial; results are returned in spec order."""
+        specs = [self._coerce(spec) for spec in specs]
+        if not specs:
+            return []
+        if self.workers == 1:
+            return self._run_serial(specs)
+        return self._run_pool(specs)
+
+    def _coerce(self, spec) -> TrialSpec:
+        if isinstance(spec, TrialSpec):
+            if not spec.experiment and self.experiment:
+                spec = TrialSpec(
+                    config=spec.config,
+                    experiment=self.experiment,
+                    point=spec.point,
+                    scheme=spec.scheme,
+                    replication=spec.replication,
+                )
+            return spec
+        if isinstance(spec, SimulationConfig):
+            return TrialSpec(config=spec, experiment=self.experiment)
+        raise ExperimentError(
+            f"expected TrialSpec or SimulationConfig, got {type(spec).__name__}"
+        )
+
+    def _run_serial(self, specs: Sequence[TrialSpec]) -> list[SimulationResult]:
+        results = []
+        for done, spec in enumerate(specs, start=1):
+            try:
+                result = Simulation(spec.config).run()
+            except Exception as error:
+                # Same attribution as the pool path: name the trial.
+                raise ExperimentError(
+                    f"worker failed on {spec.describe()}: {error!r}"
+                ) from error
+            results.append(result)
+            self._report(done, len(specs), spec, result)
+        return results
+
+    def _run_pool(self, specs: Sequence[TrialSpec]) -> list[SimulationResult]:
+        workers = min(self.workers, len(specs))
+        slots: list[Optional[SimulationResult]] = [None] * len(specs)
+        frozen: list[Optional[FrozenMetrics]] = [None] * len(specs)
+        done = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute, spec): index
+                for index, spec in enumerate(specs)
+            }
+            pending = set(futures)
+            try:
+                while pending:
+                    finished, pending = wait(
+                        pending, return_when=FIRST_EXCEPTION
+                    )
+                    for future in finished:
+                        index = futures[future]
+                        spec = specs[index]
+                        error = future.exception()
+                        if error is not None:
+                            raise ExperimentError(
+                                f"worker failed on {spec.describe()}: "
+                                f"{error!r}"
+                            ) from error
+                        result, metrics = future.result()
+                        slots[index], frozen[index] = result, metrics
+                        done += 1
+                        self._report(done, len(specs), spec, result)
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise
+        self.metrics = FrozenMetrics.merge(
+            [part for part in frozen if part is not None]
+        )
+        return [result for result in slots if result is not None]
+
+    # -- progress ------------------------------------------------------------
+    def _report(
+        self, done: int, total: int, spec: TrialSpec, result: SimulationResult
+    ) -> None:
+        progress = (
+            self._progress if self._progress is not None else _default_progress
+        )
+        if progress is None:
+            return
+        progress(
+            f"[{done}/{total}] {spec.describe()} "
+            f"done in {result.wall_seconds:.1f}s"
+        )
+
+
+def run_trials(
+    specs: Iterable[TrialSpec],
+    workers: "int | str | None" = None,
+    progress: Optional[Callable[[str], None]] = None,
+    experiment: str = "",
+) -> list[SimulationResult]:
+    """Convenience wrapper: one-shot :class:`ParallelRunner` execution."""
+    runner = ParallelRunner(
+        workers=workers, progress=progress, experiment=experiment
+    )
+    return runner.run_trials(specs)

@@ -5,13 +5,24 @@ identical topology, query stream, and placement for each replication seed,
 so scheme differences are not confounded by workload noise — and the
 "relative cost compared to PCX" ratios are computed pairwise per seed,
 exactly as the paper plots them.
+
+Every entry point accepts ``workers``: trials (independent simulations)
+are distributed over a process pool by
+:class:`~repro.engine.parallel.ParallelRunner` and reassembled in trial
+order, so any worker count produces bit-identical results to the serial
+path.  ``workers=1`` (or leaving ``REPRO_WORKERS`` unset) executes
+inline exactly as before.  :func:`compare_many` / :func:`replicate_many`
+fan an *entire sweep grid* out at once — the wall-clock win for the
+figure/table experiments, whose points would otherwise each wait for
+their own replications.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.engine.config import SimulationConfig
+from repro.engine.parallel import ParallelRunner, TrialSpec
 from repro.engine.results import (
     ComparisonResult,
     ReplicatedResult,
@@ -19,6 +30,7 @@ from repro.engine.results import (
 )
 from repro.engine.simulation import Simulation
 from repro.errors import ExperimentError
+from repro.sim.rng import derive_trial_seed
 from repro.stats.confidence import mean_confidence_interval
 
 PAPER_SCHEMES = ("pcx", "cup", "dup")
@@ -29,52 +41,43 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     return Simulation(config).run()
 
 
+def _replication_config(
+    config: SimulationConfig, replication: int
+) -> SimulationConfig:
+    """The configuration of one replication (stable seed derivation)."""
+    return config.replace(seed=derive_trial_seed(config.seed, replication))
+
+
 def run_replications(
-    config: SimulationConfig, replications: int = 3
+    config: SimulationConfig,
+    replications: int = 3,
+    workers: "int | str | None" = None,
+    experiment: str = "",
 ) -> ReplicatedResult:
     """Run ``replications`` independent seeds of one configuration."""
     if replications < 1:
         raise ExperimentError(
             f"need at least one replication, got {replications}"
         )
-    runs = [
-        run_simulation(config.replace(seed=config.seed + offset))
+    specs = [
+        TrialSpec(
+            config=_replication_config(config, offset),
+            experiment=experiment,
+            scheme=config.scheme,
+            replication=offset,
+        )
         for offset in range(replications)
     ]
-    return ReplicatedResult.from_runs(runs)
+    runner = ParallelRunner(workers=workers, experiment=experiment)
+    return ReplicatedResult.from_runs(runner.run_trials(specs))
 
 
-def compare_schemes(
-    config: SimulationConfig,
-    schemes: Sequence[str] = PAPER_SCHEMES,
-    replications: int = 3,
-    baseline: str = "pcx",
+def _assemble_comparison(
+    runs: Mapping[str, Sequence[SimulationResult]],
+    schemes: Sequence[str],
+    baseline: str,
 ) -> ComparisonResult:
-    """Run several schemes on identical workloads and compare them.
-
-    Parameters
-    ----------
-    config:
-        Base configuration; its ``scheme`` field is overridden per run.
-    schemes:
-        Scheme names to compare (default: the paper's three).
-    replications:
-        Independent seeds per scheme (paired across schemes).
-    baseline:
-        Scheme the relative costs are normalized to; it is run even if it
-        is not in ``schemes``.
-    """
-    if replications < 1:
-        raise ExperimentError(
-            f"need at least one replication, got {replications}"
-        )
-    all_schemes = list(dict.fromkeys(list(schemes) + [baseline]))
-    runs: dict[str, list[SimulationResult]] = {name: [] for name in all_schemes}
-    for offset in range(replications):
-        seeded = config.replace(seed=config.seed + offset)
-        for name in all_schemes:
-            runs[name].append(run_simulation(seeded.replace(scheme=name)))
-
+    """Fold per-scheme replication runs into a :class:`ComparisonResult`."""
     by_scheme = {
         name: ReplicatedResult.from_runs(results)
         for name, results in runs.items()
@@ -94,6 +97,134 @@ def compare_schemes(
     )
 
 
+def compare_schemes(
+    config: SimulationConfig,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    replications: int = 3,
+    baseline: str = "pcx",
+    workers: "int | str | None" = None,
+    experiment: str = "",
+) -> ComparisonResult:
+    """Run several schemes on identical workloads and compare them.
+
+    Parameters
+    ----------
+    config:
+        Base configuration; its ``scheme`` field is overridden per run.
+    schemes:
+        Scheme names to compare (default: the paper's three).
+    replications:
+        Independent seeds per scheme (paired across schemes).
+    baseline:
+        Scheme the relative costs are normalized to; it is run even if it
+        is not in ``schemes``.
+    workers:
+        Process-pool size for the trial fan-out (default: serial).
+    """
+    comparisons = compare_many(
+        {None: config},
+        schemes=schemes,
+        replications=replications,
+        baseline=baseline,
+        workers=workers,
+        experiment=experiment,
+    )
+    return comparisons[None]
+
+
+def compare_many(
+    configs: Mapping,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    replications: int = 3,
+    baseline: str = "pcx",
+    workers: "int | str | None" = None,
+    experiment: str = "",
+) -> dict:
+    """Compare schemes at every sweep point of ``configs`` at once.
+
+    ``configs`` maps sweep-point keys (a rate, a size, a tuple, ...) to
+    base configurations.  The full ``points x replications x schemes``
+    grid is fanned out over one worker pool, then regrouped into
+    ``{point: ComparisonResult}`` — value-identical to calling
+    :func:`compare_schemes` per point, but a single global fan-out keeps
+    every worker busy until the whole sweep drains.
+    """
+    if replications < 1:
+        raise ExperimentError(
+            f"need at least one replication, got {replications}"
+        )
+    all_schemes = list(dict.fromkeys(list(schemes) + [baseline]))
+    specs = []
+    keys = []
+    for point, config in configs.items():
+        for offset in range(replications):
+            seeded = _replication_config(config, offset)
+            for name in all_schemes:
+                specs.append(
+                    TrialSpec(
+                        config=seeded.replace(scheme=name),
+                        experiment=experiment,
+                        point=point,
+                        scheme=name,
+                        replication=offset,
+                    )
+                )
+                keys.append((point, name))
+    runner = ParallelRunner(workers=workers, experiment=experiment)
+    results = runner.run_trials(specs)
+
+    grouped: dict = {
+        point: {name: [] for name in all_schemes} for point in configs
+    }
+    for (point, name), result in zip(keys, results):
+        grouped[point][name].append(result)
+    return {
+        point: _assemble_comparison(runs, schemes, baseline)
+        for point, runs in grouped.items()
+    }
+
+
+def replicate_many(
+    configs: Mapping,
+    replications: int = 2,
+    workers: "int | str | None" = None,
+    experiment: str = "",
+) -> dict:
+    """Run replications of every configuration in one global fan-out.
+
+    Returns ``{key: ReplicatedResult}`` in ``configs`` order —
+    value-identical to calling :func:`run_replications` per key.
+    """
+    if replications < 1:
+        raise ExperimentError(
+            f"need at least one replication, got {replications}"
+        )
+    specs = []
+    keys = []
+    for key, config in configs.items():
+        for offset in range(replications):
+            specs.append(
+                TrialSpec(
+                    config=_replication_config(config, offset),
+                    experiment=experiment,
+                    point=key,
+                    scheme=config.scheme,
+                    replication=offset,
+                )
+            )
+            keys.append(key)
+    runner = ParallelRunner(workers=workers, experiment=experiment)
+    results = runner.run_trials(specs)
+
+    grouped: dict = {key: [] for key in configs}
+    for key, result in zip(keys, results):
+        grouped[key].append(result)
+    return {
+        key: ReplicatedResult.from_runs(runs)
+        for key, runs in grouped.items()
+    }
+
+
 def sweep(
     config: SimulationConfig,
     parameter: str,
@@ -101,19 +232,26 @@ def sweep(
     schemes: Sequence[str] = PAPER_SCHEMES,
     replications: int = 2,
     extra: Optional[dict] = None,
+    workers: "int | str | None" = None,
+    experiment: str = "",
 ) -> dict:
     """Run a one-parameter sweep and return {value: ComparisonResult}.
 
     The workhorse behind every paper figure: Figure 4 is
     ``sweep(cfg, "query_rate", [...])``, Figure 6 is
-    ``sweep(cfg, "max_degree", [...])``, and so on.
+    ``sweep(cfg, "max_degree", [...])``, and so on.  All
+    ``values x replications x schemes`` trials share one worker pool.
     """
-    results = {}
+    configs = {}
     for value in values:
         changes = {parameter: value}
         if extra:
             changes.update(extra)
-        results[value] = compare_schemes(
-            config.replace(**changes), schemes, replications
-        )
-    return results
+        configs[value] = config.replace(**changes)
+    return compare_many(
+        configs,
+        schemes=schemes,
+        replications=replications,
+        workers=workers,
+        experiment=experiment,
+    )

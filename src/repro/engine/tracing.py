@@ -529,3 +529,30 @@ class TraceCollector:
             f"TraceCollector(completed={self._completed}, "
             f"incomplete={self._incomplete}, open={self.open_count})"
         )
+
+
+def merge_summaries(summaries) -> dict[str, object]:
+    """Combine per-run :meth:`TraceCollector.summary` dicts.
+
+    Counts (``completed``/``incomplete``/``open`` and the nested
+    ``hops_by_level`` attribution) are summed; percentile fields, which
+    cannot be combined from summaries alone, are dropped — re-derive them
+    from the merged raw latencies when tails across runs are needed.
+    Used when a parallel sweep's per-worker trace summaries are folded
+    into one report.
+    """
+    merged: dict[str, object] = {
+        "completed": 0,
+        "incomplete": 0,
+        "open": 0,
+        "hops_by_level": {},
+    }
+    levels: dict[int, int] = merged["hops_by_level"]
+    for summary in summaries:
+        for key in ("completed", "incomplete", "open"):
+            merged[key] += int(summary.get(key, 0))
+        for level, hops in dict(summary.get("hops_by_level", {})).items():
+            level = int(level)
+            levels[level] = levels.get(level, 0) + int(hops)
+    merged["hops_by_level"] = dict(sorted(levels.items()))
+    return merged

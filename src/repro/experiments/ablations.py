@@ -19,7 +19,7 @@ Six studies, each isolating one mechanism:
 
 from __future__ import annotations
 
-from repro.engine.runner import compare_schemes, run_replications
+from repro.engine.runner import compare_many, compare_schemes, replicate_many
 from repro.experiments.common import base_config
 from repro.experiments.spec import ExperimentResult, ShapeCheck
 
@@ -29,13 +29,17 @@ TITLE = "Design-choice ablations"
 RATE = 10.0
 
 
-def run_cut_off(scale="bench", replications=2, seed=1, rate=RATE) -> ExperimentResult:
+def run_cut_off(
+    scale="bench", replications=2, seed=1, rate=RATE, workers=None
+) -> ExperimentResult:
     """The CUP design space vs DUP: popularity-only, soft-state, ideal."""
     schemes = ("pcx", "cup-popularity", "cup", "cup-ideal", "dup")
     comparison = compare_schemes(
         base_config(scale, seed=seed, query_rate=rate),
         schemes=schemes,
         replications=replications,
+        workers=workers,
+        experiment="ablation-cutoff",
     )
     rows = [
         {
@@ -77,20 +81,28 @@ def run_cut_off(scale="bench", replications=2, seed=1, rate=RATE) -> ExperimentR
     )
 
 
-def run_piggyback(scale="bench", replications=2, seed=1, rate=RATE) -> ExperimentResult:
+def run_piggyback(
+    scale="bench", replications=2, seed=1, rate=RATE, workers=None
+) -> ExperimentResult:
     """DUP with and without control piggybacking / deferred subscribes."""
-    rows = []
-    values = {}
-    for label, overrides in (
+    variants = (
         ("dup (piggyback, deferred)", {}),
         ("dup (eager explicit subscribe)", {"eager_subscribe": True}),
         ("dup (no piggyback at all)", {"piggyback": False}),
-    ):
-        config = base_config(
-            scale, seed=seed, scheme="dup", query_rate=rate, **overrides
-        )
-        aggregated = run_replications(config, replications)
-        values[label] = aggregated
+    )
+    values = replicate_many(
+        {
+            label: base_config(
+                scale, seed=seed, scheme="dup", query_rate=rate, **overrides
+            )
+            for label, overrides in variants
+        },
+        replications,
+        workers=workers,
+        experiment="ablation-piggyback",
+    )
+    rows = []
+    for label, aggregated in values.items():
         control = sum(
             r.hop_breakdown.get("control", 0) for r in aggregated.runs
         )
@@ -117,21 +129,28 @@ def run_piggyback(scale="bench", replications=2, seed=1, rate=RATE) -> Experimen
 
 
 def run_interest_policy(
-    scale="bench", replications=2, seed=1, rate=RATE
+    scale="bench", replications=2, seed=1, rate=RATE, workers=None
 ) -> ExperimentResult:
     """Window vs EWMA interest policies under bursty (Pareto) arrivals."""
+    aggregates = replicate_many(
+        {
+            policy: base_config(
+                scale,
+                seed=seed,
+                scheme="dup",
+                query_rate=rate,
+                arrival="pareto",
+                pareto_alpha=1.05,
+                interest_policy=policy,
+            )
+            for policy in ("window", "ewma")
+        },
+        replications,
+        workers=workers,
+        experiment="ablation-interest",
+    )
     rows = []
-    for policy in ("window", "ewma"):
-        config = base_config(
-            scale,
-            seed=seed,
-            scheme="dup",
-            query_rate=rate,
-            arrival="pareto",
-            pareto_alpha=1.05,
-            interest_policy=policy,
-        )
-        aggregated = run_replications(config, replications)
+    for policy, aggregated in aggregates.items():
         rows.append(
             {
                 "policy": policy,
@@ -152,16 +171,26 @@ def run_interest_policy(
     )
 
 
-def run_topology(scale="bench", replications=2, seed=1, rate=RATE) -> ExperimentResult:
+def run_topology(
+    scale="bench", replications=2, seed=1, rate=RATE, workers=None
+) -> ExperimentResult:
     """Random-tree vs Chord-derived search trees."""
+    comparisons = compare_many(
+        {
+            topology: base_config(
+                scale, seed=seed, query_rate=rate, topology=topology
+            )
+            for topology in ("random-tree", "chord")
+        },
+        ("pcx", "cup", "dup"),
+        replications,
+        workers=workers,
+        experiment="ablation-topology",
+    )
     rows = []
     gaps = {}
     for topology in ("random-tree", "chord"):
-        comparison = compare_schemes(
-            base_config(scale, seed=seed, query_rate=rate, topology=topology),
-            schemes=("pcx", "cup", "dup"),
-            replications=replications,
-        )
+        comparison = comparisons[topology]
         gaps[topology] = (
             comparison.relative_cost["cup"].mean
             - comparison.relative_cost["dup"].mean
@@ -192,7 +221,7 @@ def run_topology(scale="bench", replications=2, seed=1, rate=RATE) -> Experiment
 
 
 def run_invalidate(
-    scale="bench", replications=2, seed=1, rate=RATE
+    scale="bench", replications=2, seed=1, rate=RATE, workers=None
 ) -> ExperimentResult:
     """Push the update vs push an invalidation (paper Section I).
 
@@ -205,6 +234,8 @@ def run_invalidate(
         base_config(scale, seed=seed, query_rate=rate),
         schemes=("dup", "dup-invalidate"),
         replications=replications,
+        workers=workers,
+        experiment="ablation-invalidate",
     )
     rows = [
         {
@@ -241,12 +272,16 @@ def run_invalidate(
     )
 
 
-def run_extremes(scale="bench", replications=1, seed=1, rate=RATE) -> ExperimentResult:
+def run_extremes(
+    scale="bench", replications=1, seed=1, rate=RATE, workers=None
+) -> ExperimentResult:
     """No-cache and push-all anchors around the three paper schemes."""
     comparison = compare_schemes(
         base_config(scale, seed=seed, query_rate=rate),
         schemes=("nocache", "pcx", "cup", "dup", "push-all"),
         replications=replications,
+        workers=workers,
+        experiment="ablation-extremes",
     )
     rows = [
         {
@@ -274,13 +309,13 @@ def run_extremes(scale="bench", replications=1, seed=1, rate=RATE) -> Experiment
     )
 
 
-def run(scale: str = "bench", replications: int = 2, seed: int = 1):
+def run(scale: str = "bench", replications: int = 2, seed: int = 1, workers=None):
     """Run every ablation; returns a list of results."""
     return [
-        run_cut_off(scale, replications, seed),
-        run_piggyback(scale, replications, seed),
-        run_interest_policy(scale, replications, seed),
-        run_topology(scale, replications, seed),
-        run_invalidate(scale, replications, seed),
-        run_extremes(scale, max(1, replications - 1), seed),
+        run_cut_off(scale, replications, seed, workers=workers),
+        run_piggyback(scale, replications, seed, workers=workers),
+        run_interest_policy(scale, replications, seed, workers=workers),
+        run_topology(scale, replications, seed, workers=workers),
+        run_invalidate(scale, replications, seed, workers=workers),
+        run_extremes(scale, max(1, replications - 1), seed, workers=workers),
     ]

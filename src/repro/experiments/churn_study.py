@@ -9,7 +9,7 @@ cost, dropped messages, and incomplete queries — quantifying that claim.
 
 from __future__ import annotations
 
-from repro.engine.runner import run_replications
+from repro.engine.runner import replicate_many
 from repro.experiments.common import base_config
 from repro.experiments.spec import ExperimentResult, ShapeCheck
 from repro.workload.churn import ChurnConfig
@@ -31,45 +31,56 @@ def run(
     levels=BENCH_LEVELS,
     rate: float = RATE,
     schemes=("pcx", "dup"),
+    workers=None,
 ) -> ExperimentResult:
     """Sweep churn intensity for the given schemes."""
-    rows = []
-    results = {}
-    for level in levels:
-        churn = (
-            None
-            if level == 0.0
-            else ChurnConfig(
-                join_rate=level / 2, leave_rate=level / 4, fail_rate=level / 4
-            )
+
+    def churn_for(level):
+        if level == 0.0:
+            return None
+        return ChurnConfig(
+            join_rate=level / 2, leave_rate=level / 4, fail_rate=level / 4
         )
-        for scheme in schemes:
-            config = base_config(
-                scale, seed=seed, scheme=scheme, query_rate=rate, churn=churn
+
+    results = replicate_many(
+        {
+            (level, scheme): base_config(
+                scale,
+                seed=seed,
+                scheme=scheme,
+                query_rate=rate,
+                churn=churn_for(level),
             )
-            aggregated = run_replications(config, replications)
-            results[(level, scheme)] = aggregated
-            dropped = sum(r.dropped_messages for r in aggregated.runs)
-            incomplete = sum(r.incomplete_queries for r in aggregated.runs)
-            # Tail latency across replications: churn hurts the tail
-            # long before it moves the mean.
-            p95s = [
-                r.latency_percentiles["p95"]
-                for r in aggregated.runs
-                if "p95" in r.latency_percentiles
-            ]
-            rows.append(
-                {
-                    "churn_rate": level,
-                    "scheme": scheme,
-                    "latency": aggregated.latency.mean,
-                    "latency_p95": max(p95s) if p95s else float("nan"),
-                    "cost": aggregated.cost.mean,
-                    "dropped_msgs": dropped,
-                    "incomplete": incomplete,
-                    "population": aggregated.runs[-1].final_population,
-                }
-            )
+            for level in levels
+            for scheme in schemes
+        },
+        replications,
+        workers=workers,
+        experiment=EXPERIMENT_ID,
+    )
+    rows = []
+    for (level, scheme), aggregated in results.items():
+        dropped = sum(r.dropped_messages for r in aggregated.runs)
+        incomplete = sum(r.incomplete_queries for r in aggregated.runs)
+        # Tail latency across replications: churn hurts the tail
+        # long before it moves the mean.
+        p95s = [
+            r.latency_percentiles["p95"]
+            for r in aggregated.runs
+            if "p95" in r.latency_percentiles
+        ]
+        rows.append(
+            {
+                "churn_rate": level,
+                "scheme": scheme,
+                "latency": aggregated.latency.mean,
+                "latency_p95": max(p95s) if p95s else float("nan"),
+                "cost": aggregated.cost.mean,
+                "dropped_msgs": dropped,
+                "incomplete": incomplete,
+                "population": aggregated.runs[-1].final_population,
+            }
+        )
 
     checks = []
     if "dup" in schemes:

@@ -15,12 +15,20 @@ def base_config(scale: str = "bench", seed: int = 1, **overrides) -> SimulationC
     ``"bench"`` trims the population and horizon so a full experiment
     finishes in minutes of wall-clock on a laptop; ``"quick"`` trims
     further for the pytest-benchmark harness (tens of seconds per
-    table/figure); ``"paper"`` uses the full Table I parameters (4096
-    nodes, >= 180,000 simulated seconds), which takes hours in pure
-    Python — exactly like the original runs.  All sweeps apply
-    identically to any base.
+    table/figure); ``"smoke"`` trims further still for CI regression and
+    golden-file tests (seconds per figure); ``"paper"`` uses the full
+    Table I parameters (4096 nodes, >= 180,000 simulated seconds), which
+    takes hours in pure Python — exactly like the original runs.  All
+    sweeps apply identically to any base.
     """
-    if scale == "quick":
+    if scale == "smoke":
+        defaults = dict(
+            num_nodes=128,
+            duration=3600.0 * 3,
+            warmup=3600.0,
+            seed=seed,
+        )
+    elif scale == "quick":
         defaults = dict(
             num_nodes=512,
             duration=3600.0 * 5,
@@ -43,7 +51,8 @@ def base_config(scale: str = "bench", seed: int = 1, **overrides) -> SimulationC
         )
     else:
         raise ExperimentError(
-            f"unknown scale {scale!r}; use 'quick', 'bench', or 'paper'"
+            f"unknown scale {scale!r}; use 'smoke', 'quick', 'bench', "
+            "or 'paper'"
         )
     defaults.update(overrides)
     return SimulationConfig(**defaults)

@@ -37,8 +37,16 @@ def run(
     seed: int = 1,
     rate: float = RATE,
     fail_fraction: float = FAIL_FRACTION,
+    workers=None,
 ) -> ExperimentResult:
-    """Run the two-phase convergence study."""
+    """Run the two-phase convergence study.
+
+    ``workers`` is accepted for interface parity with the other
+    experiments but ignored: this is a single continuous time-series
+    simulation with in-process probes and an injected failure process —
+    there is no trial grid to fan out.
+    """
+    del workers
     config = base_config(
         scale,
         seed=seed,

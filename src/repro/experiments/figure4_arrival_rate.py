@@ -14,7 +14,7 @@ PCX.  The paper's claims:
 
 from __future__ import annotations
 
-from repro.engine.runner import compare_schemes
+from repro.engine.runner import compare_many
 from repro.experiments.common import PAPER_SCHEMES, base_config
 from repro.experiments.format import monotone
 from repro.experiments.plot import plot_experiment_series
@@ -32,16 +32,23 @@ def run(
     replications: int = 2,
     seed: int = 1,
     rates=None,
+    workers=None,
 ) -> ExperimentResult:
     """Regenerate Figure 4 (a) and (b)."""
     if rates is None:
-        rates = BENCH_RATES if scale == "bench" else PAPER_RATES
-    comparisons = {}
-    for rate in rates:
-        config = base_config(scale, seed=seed, query_rate=rate)
-        comparisons[rate] = compare_schemes(
-            config, PAPER_SCHEMES, replications
-        )
+        # Smoke-scale populations are too small for the paper's extreme
+        # rates to order cleanly; they get the trimmed bench grid.
+        rates = PAPER_RATES if scale in ("quick", "paper") else BENCH_RATES
+    comparisons = compare_many(
+        {
+            rate: base_config(scale, seed=seed, query_rate=rate)
+            for rate in rates
+        },
+        PAPER_SCHEMES,
+        replications,
+        workers=workers,
+        experiment=EXPERIMENT_ID,
+    )
 
     rows = []
     for rate, comparison in comparisons.items():

@@ -17,7 +17,7 @@ interested set stays sparse, the regime where relay chains matter.
 
 from __future__ import annotations
 
-from repro.engine.runner import compare_schemes
+from repro.engine.runner import compare_many
 from repro.experiments.common import PAPER_SCHEMES, base_config
 from repro.experiments.spec import ExperimentResult, ShapeCheck
 
@@ -38,20 +38,23 @@ def run(
     seed: int = 1,
     sizes=None,
     density: float = DENSITY,
+    workers=None,
 ) -> ExperimentResult:
     """Regenerate Figure 5."""
     if sizes is None:
         sizes = BENCH_SIZES if scale != "paper" else PAPER_SIZES
-    comparisons = {
-        size: compare_schemes(
-            base_config(
+    comparisons = compare_many(
+        {
+            size: base_config(
                 scale, seed=seed, num_nodes=size, query_rate=density * size
-            ),
-            PAPER_SCHEMES,
-            replications,
-        )
-        for size in sizes
-    }
+            )
+            for size in sizes
+        },
+        PAPER_SCHEMES,
+        replications,
+        workers=workers,
+        experiment=EXPERIMENT_ID,
+    )
 
     rows = [
         {

@@ -8,7 +8,7 @@ much lower cost than PCX and CUP, even when D is as large as ten."
 
 from __future__ import annotations
 
-from repro.engine.runner import compare_schemes
+from repro.engine.runner import compare_many
 from repro.experiments.common import PAPER_SCHEMES, base_config
 from repro.experiments.format import monotone
 from repro.experiments.spec import ExperimentResult, ShapeCheck
@@ -26,16 +26,21 @@ def run(
     seed: int = 1,
     degrees=DEGREES,
     rate: float = RATE,
+    workers=None,
 ) -> ExperimentResult:
     """Regenerate Figure 6 (a) and (b)."""
-    comparisons = {
-        degree: compare_schemes(
-            base_config(scale, seed=seed, max_degree=degree, query_rate=rate),
-            PAPER_SCHEMES,
-            replications,
-        )
-        for degree in degrees
-    }
+    comparisons = compare_many(
+        {
+            degree: base_config(
+                scale, seed=seed, max_degree=degree, query_rate=rate
+            )
+            for degree in degrees
+        },
+        PAPER_SCHEMES,
+        replications,
+        workers=workers,
+        experiment=EXPERIMENT_ID,
+    )
 
     rows = []
     for degree, comparison in comparisons.items():

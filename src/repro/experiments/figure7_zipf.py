@@ -11,7 +11,7 @@ does not perform well").
 
 from __future__ import annotations
 
-from repro.engine.runner import compare_schemes
+from repro.engine.runner import compare_many
 from repro.experiments.common import PAPER_SCHEMES, base_config
 from repro.experiments.plot import plot_experiment_series
 from repro.experiments.spec import ExperimentResult, ShapeCheck
@@ -29,16 +29,21 @@ def run(
     seed: int = 1,
     thetas=THETAS,
     rate: float = RATE,
+    workers=None,
 ) -> ExperimentResult:
     """Regenerate Figure 7 (a) and (b)."""
-    comparisons = {
-        theta: compare_schemes(
-            base_config(scale, seed=seed, zipf_theta=theta, query_rate=rate),
-            PAPER_SCHEMES,
-            replications,
-        )
-        for theta in thetas
-    }
+    comparisons = compare_many(
+        {
+            theta: base_config(
+                scale, seed=seed, zipf_theta=theta, query_rate=rate
+            )
+            for theta in thetas
+        },
+        PAPER_SCHEMES,
+        replications,
+        workers=workers,
+        experiment=EXPERIMENT_ID,
+    )
 
     rows = []
     for theta, comparison in comparisons.items():

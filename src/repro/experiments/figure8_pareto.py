@@ -11,7 +11,7 @@ interest flaps between bursts and idle periods, wasting some pushes.
 
 from __future__ import annotations
 
-from repro.engine.runner import compare_schemes
+from repro.engine.runner import compare_many
 from repro.experiments.common import PAPER_SCHEMES, base_config
 from repro.experiments.spec import ExperimentResult, ShapeCheck
 
@@ -29,23 +29,28 @@ def run(
     seed: int = 1,
     alphas=ALPHAS,
     rates=None,
+    workers=None,
 ) -> ExperimentResult:
     """Regenerate Figure 8 (a) and (b)."""
     if rates is None:
-        rates = BENCH_RATES if scale == "bench" else PAPER_RATES
-    comparisons = {}
-    for alpha in alphas:
-        for rate in rates:
-            config = base_config(
+        rates = PAPER_RATES if scale in ("quick", "paper") else BENCH_RATES
+    comparisons = compare_many(
+        {
+            (alpha, rate): base_config(
                 scale,
                 seed=seed,
                 arrival="pareto",
                 pareto_alpha=alpha,
                 query_rate=rate,
             )
-            comparisons[(alpha, rate)] = compare_schemes(
-                config, PAPER_SCHEMES, replications
-            )
+            for alpha in alphas
+            for rate in rates
+        },
+        PAPER_SCHEMES,
+        replications,
+        workers=workers,
+        experiment=EXPERIMENT_ID,
+    )
 
     rows = []
     for alpha in alphas:

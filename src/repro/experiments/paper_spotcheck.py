@@ -13,7 +13,7 @@ Results from one complete run are recorded in EXPERIMENTS.md under
 from __future__ import annotations
 
 from repro.engine.config import SimulationConfig
-from repro.engine.runner import run_simulation
+from repro.engine.parallel import ParallelRunner, TrialSpec
 from repro.experiments.format import monotone
 from repro.experiments.spec import ExperimentResult, ShapeCheck
 
@@ -29,22 +29,37 @@ def run(
     replications: int = 1,
     seed: int = 1,
     rates=RATES,
+    workers=None,
 ) -> ExperimentResult:
     """Run the spot check (slow: full paper parameters)."""
     del scale, replications  # one fidelity, one seed: that is the point
-    rows = []
-    results = {}
-    for rate in rates:
-        row = {"lambda": rate}
-        for scheme in SCHEMES:
-            config = SimulationConfig(
+    specs = [
+        TrialSpec(
+            config=SimulationConfig(
                 scheme=scheme,
                 query_rate=rate,
                 seed=seed,
                 keep_latency_samples=rate <= 10.0,  # memory at high rates
-            )
-            result = run_simulation(config)
-            results[(rate, scheme)] = result
+            ),
+            experiment=EXPERIMENT_ID,
+            point=rate,
+            scheme=scheme,
+        )
+        for rate in rates
+        for scheme in SCHEMES
+    ]
+    runner = ParallelRunner(workers=workers, experiment=EXPERIMENT_ID)
+    outputs = runner.run_trials(specs)
+    results = {
+        (spec.point, spec.scheme): result
+        for spec, result in zip(specs, outputs)
+    }
+
+    rows = []
+    for rate in rates:
+        row = {"lambda": rate}
+        for scheme in SCHEMES:
+            result = results[(rate, scheme)]
             row[f"latency_{scheme}"] = result.mean_latency
             row[f"cost_{scheme}"] = result.cost_per_query
         pcx_cost = results[(rate, "pcx")].cost_per_query

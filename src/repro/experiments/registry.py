@@ -42,12 +42,18 @@ _REGISTRY: dict[str, Callable] = {
 }
 
 
-def run_all(scale: str = "quick", replications: int = 1, seed: int = 1):
+def run_all(
+    scale: str = "quick",
+    replications: int = 1,
+    seed: int = 1,
+    workers=None,
+):
     """Run every registered experiment; returns the flat result list.
 
     At the default ``quick`` scale this regenerates every paper artifact
     in a few minutes; ``bench`` takes tens of minutes; ``paper`` runs for
-    many hours (full Table I fidelity).
+    many hours (full Table I fidelity).  ``workers`` is forwarded to each
+    experiment's trial fan-out (see :mod:`repro.engine.parallel`).
     """
     results = []
     for name, runner in _REGISTRY.items():
@@ -55,7 +61,9 @@ def run_all(scale: str = "quick", replications: int = 1, seed: int = 1):
             "ablation-"
         ):
             continue  # covered elsewhere / deliberately slow
-        outcome = runner(scale=scale, replications=replications, seed=seed)
+        outcome = runner(
+            scale=scale, replications=replications, seed=seed, workers=workers
+        )
         if isinstance(outcome, list):
             results.extend(outcome)
         else:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 
-from repro.engine.runner import run_replications
+from repro.engine.runner import replicate_many
 from repro.experiments.common import base_config
 from repro.experiments.spec import ExperimentResult, ShapeCheck
 from repro.net.faults import FaultPlan
@@ -100,6 +100,7 @@ def run(
     seed: int = 1,
     levels=None,
     rate: float = RATE,
+    workers=None,
 ) -> ExperimentResult:
     """Sweep the control/push loss rate for every variant."""
     if levels is None:
@@ -111,40 +112,45 @@ def run(
         churn=ChurnConfig(join_rate=CHURN / 2, fail_rate=CHURN / 2),
     )
 
+    results = replicate_many(
+        {
+            (level, variant): _variant_config(base, variant, level)
+            for level in levels
+            for variant in VARIANTS
+        },
+        replications,
+        workers=workers,
+        experiment=EXPERIMENT_ID,
+    )
     rows = []
-    results = {}
-    for level in levels:
-        for variant in VARIANTS:
-            config = _variant_config(base, variant, level)
-            aggregated = run_replications(config, replications)
-            results[(level, variant)] = aggregated
-            runs = aggregated.runs
-            extras = [dict(r.extras) for r in runs]
+    for (level, variant), aggregated in results.items():
+        runs = aggregated.runs
+        extras = [dict(r.extras) for r in runs]
 
-            def total(key):
-                return sum(int(e.get(key, 0)) for e in extras)
+        def total(key):
+            return sum(int(e.get(key, 0)) for e in extras)
 
-            rows.append(
-                {
-                    "loss_rate": level,
-                    "variant": variant,
-                    "latency": aggregated.latency.mean,
-                    "cost": aggregated.cost.mean,
-                    "stale_frac": _mean(
-                        [r.stale_read_fraction for r in runs]
-                    ),
-                    "incomplete": sum(r.incomplete_queries for r in runs),
-                    "inj_losses": total("injected_losses"),
-                    "retries": total("retries"),
-                    "lease_exp": total("lease_expiries"),
-                    "det_p50": _mean(
-                        [float(e.get("detection_p50", "nan")) for e in extras]
-                    ),
-                    "det_p95": _mean(
-                        [float(e.get("detection_p95", "nan")) for e in extras]
-                    ),
-                }
-            )
+        rows.append(
+            {
+                "loss_rate": level,
+                "variant": variant,
+                "latency": aggregated.latency.mean,
+                "cost": aggregated.cost.mean,
+                "stale_frac": _mean(
+                    [r.stale_read_fraction for r in runs]
+                ),
+                "incomplete": sum(r.incomplete_queries for r in runs),
+                "inj_losses": total("injected_losses"),
+                "retries": total("retries"),
+                "lease_exp": total("lease_expiries"),
+                "det_p50": _mean(
+                    [float(e.get("detection_p50", "nan")) for e in extras]
+                ),
+                "det_p95": _mean(
+                    [float(e.get("detection_p95", "nan")) for e in extras]
+                ),
+            }
+        )
 
     checks = _shape_checks(scale, levels, results)
     return ExperimentResult(

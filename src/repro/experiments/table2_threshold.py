@@ -11,7 +11,7 @@ default).
 
 from __future__ import annotations
 
-from repro.engine.runner import run_replications
+from repro.engine.runner import replicate_many
 from repro.experiments.common import base_config
 from repro.experiments.format import monotone
 from repro.experiments.spec import ExperimentResult, ShapeCheck
@@ -29,16 +29,25 @@ def run(
     seed: int = 1,
     c_values=C_VALUES,
     rates=RATES,
+    workers=None,
 ) -> ExperimentResult:
     """Regenerate Table II."""
-    cells: dict[tuple[float, int], tuple[float, float]] = {}
-    for rate in rates:
-        for c in c_values:
-            config = base_config(
+    aggregates = replicate_many(
+        {
+            (rate, c): base_config(
                 scale, seed=seed, scheme="dup", query_rate=rate, threshold_c=c
             )
-            aggregated = run_replications(config, replications)
-            cells[(rate, c)] = (aggregated.cost.mean, aggregated.latency.mean)
+            for rate in rates
+            for c in c_values
+        },
+        replications,
+        workers=workers,
+        experiment=EXPERIMENT_ID,
+    )
+    cells: dict[tuple[float, int], tuple[float, float]] = {
+        key: (aggregated.cost.mean, aggregated.latency.mean)
+        for key, aggregated in aggregates.items()
+    }
 
     rows = []
     for rate in rates:

@@ -9,7 +9,7 @@ CUP".
 
 from __future__ import annotations
 
-from repro.engine.runner import compare_schemes
+from repro.engine.runner import compare_many
 from repro.experiments.common import PAPER_SCHEMES, base_config
 from repro.experiments.format import monotone
 from repro.experiments.spec import ExperimentResult, ShapeCheck
@@ -28,19 +28,24 @@ def run(
     seed: int = 1,
     sizes=None,
     rates=RATES,
+    workers=None,
 ) -> ExperimentResult:
     """Regenerate Table III."""
     if sizes is None:
-        sizes = BENCH_SIZES if scale == "bench" else PAPER_SIZES
-    comparisons = {}
-    for rate in rates:
-        for size in sizes:
-            config = base_config(
+        sizes = PAPER_SIZES if scale in ("quick", "paper") else BENCH_SIZES
+    comparisons = compare_many(
+        {
+            (rate, size): base_config(
                 scale, seed=seed, query_rate=rate, num_nodes=size
             )
-            comparisons[(rate, size)] = compare_schemes(
-                config, PAPER_SCHEMES, replications
-            )
+            for rate in rates
+            for size in sizes
+        },
+        PAPER_SCHEMES,
+        replications,
+        workers=workers,
+        experiment=EXPERIMENT_ID,
+    )
 
     rows = []
     for rate in rates:

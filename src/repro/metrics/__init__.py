@@ -23,12 +23,19 @@ from repro.metrics.export import (
     write_jsonl,
 )
 from repro.metrics.latency import LatencyRecorder
-from repro.metrics.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.metrics.registry import (
+    Counter,
+    FrozenMetrics,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.metrics.report import MetricsReport
 
 __all__ = [
     "CostLedger",
     "Counter",
+    "FrozenMetrics",
     "Gauge",
     "Histogram",
     "LatencyRecorder",

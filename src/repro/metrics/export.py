@@ -87,7 +87,12 @@ def export_traces(
 
 def registry_records(registry: "MetricsRegistry") -> Iterator[dict]:
     """Yield the registry's snapshots (or one current snapshot if none
-    were recorded) as JSONL-ready dicts."""
+    were recorded) as JSONL-ready dicts.
+
+    Accepts either a live :class:`~repro.metrics.registry.MetricsRegistry`
+    or a :class:`~repro.metrics.registry.FrozenMetrics` (e.g. the merged
+    payload of a parallel sweep) — both expose ``snapshots`` and
+    ``snapshot()``."""
     snapshots = registry.snapshots or (registry.snapshot(),)
     for snapshot in snapshots:
         yield {"type": "snapshot", **snapshot}

@@ -55,11 +55,60 @@ class RandomStreams:
         """A new family for a replication, offset from the root seed."""
         return RandomStreams(self._seed + int(offset))
 
+    @classmethod
+    def for_trial(
+        cls,
+        root_seed: int,
+        replication: int,
+        experiment: str = "",
+        point: object = None,
+    ) -> "RandomStreams":
+        """The stream family for one ``(experiment, point, replication)``
+        trial (see :func:`derive_trial_seed`)."""
+        return cls(
+            derive_trial_seed(
+                root_seed, replication, experiment=experiment, point=point
+            )
+        )
+
     def __repr__(self) -> str:
         return (
             f"RandomStreams(seed={self._seed}, "
             f"streams={sorted(self._streams)})"
         )
+
+
+def derive_trial_seed(
+    root_seed: int,
+    replication: int,
+    experiment: str = "",
+    point: object = None,
+) -> int:
+    """The root seed of one trial's :class:`RandomStreams` family.
+
+    This is the single place the engine turns a configuration's root seed
+    into a per-trial seed, so the serial and multiprocess runners agree
+    bit-for-bit: a trial's randomness depends only on the derived seed,
+    never on which worker executes it or in what order.
+
+    With the default empty key (``experiment=""``, ``point=None``) the
+    derivation is the historical ``root_seed + replication`` rule, which
+    keeps *common random numbers* across compared schemes (the runner
+    varies only ``config.scheme`` between paired runs) and preserves every
+    previously published number.  Supplying ``experiment``/``point``
+    decorrelates sweep points by mixing a stable hash of the key into the
+    seed — useful when independent points must not share workload
+    randomness.  Either way, the per-purpose named streams ("arrivals",
+    "topology", "faults", ...) are then spawned independently from the
+    derived seed by :class:`RandomStreams`, so the fault-injection streams
+    introduced with the resilience layer stay decoupled from the workload
+    streams within each trial.
+    """
+    base = int(root_seed) + int(replication)
+    if not experiment and point is None:
+        return base
+    key = f"{experiment}\x1f{point!r}"
+    return (base + _stable_hash(key)) % (2**63 - 1)
 
 
 def _stable_hash(name: str) -> int:

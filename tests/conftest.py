@@ -9,6 +9,22 @@ from repro.core.protocol import DupProtocol
 from repro.topology.tree import SearchTree
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current run "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """Whether golden files should be rewritten rather than asserted."""
+    return request.config.getoption("--update-goldens")
+
+
 class SyncDupDriver:
     """Drives the DUP protocol synchronously over a search tree.
 

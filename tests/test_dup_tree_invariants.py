@@ -1,0 +1,323 @@
+"""Direct property tests of the DUP tree invariants (ISSUE: satellite).
+
+``test_dup_properties.py`` checks histories through the aggregate
+:func:`check_dup_invariants` oracle; this suite asserts each structural
+invariant *directly* from the primitive protocol state, so a regression
+pinpoints which property broke:
+
+1. **branch uniqueness** — at most one subscriber per downstream branch
+   of every node's subscriber list;
+2. **acyclicity** — the push-forwarding graph contains no cycles;
+3. **interior shape** — every forwarding (DUP-tree interior) node holds
+   >= 2 entries spanning >= 2 interest sources, and every push-graph
+   leaf is itself a subscriber (nobody relays to nowhere);
+4. **exact coverage** — pushes reach exactly the interested nodes plus
+   the interior nodes that forward to them.
+
+Histories interleave subscribe / unsubscribe / substitute (driven both
+implicitly by list transitions and explicitly payload-by-payload) and
+failure-repair (crashes healed by the Section III-C maintenance flows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.message import Subscribe, Substitute
+from repro.topology import random_search_tree
+
+from tests.conftest import SyncDupDriver
+
+
+# -- direct invariant assertions ---------------------------------------------
+
+
+def assert_branch_uniqueness(driver: SyncDupDriver) -> None:
+    """At most one subscriber-list member per downstream branch."""
+    tree = driver.tree
+    for node in driver.protocol.nodes_with_state():
+        branches = set()
+        for member in driver.s_list(node):
+            if member == node:
+                continue
+            branch = tree.child_branch(node, member)
+            assert branch not in branches, (
+                f"node {node} lists two subscribers on branch {branch}: "
+                f"{sorted(driver.s_list(node))}"
+            )
+            branches.add(branch)
+
+
+def push_edges(driver: SyncDupDriver) -> list[tuple[int, int]]:
+    """Directed edges of the push-forwarding graph, from the root down."""
+    root = driver.tree.root
+    edges = []
+    frontier = [root]
+    visited = {root}
+    while frontier:
+        sender = frontier.pop()
+        if sender != root and not driver.protocol.in_dup_tree(sender):
+            continue
+        for target in driver.protocol.push_targets(sender):
+            edges.append((sender, target))
+            if target not in visited:
+                visited.add(target)
+                frontier.append(target)
+    return edges
+
+
+def assert_push_graph_acyclic(driver: SyncDupDriver) -> None:
+    """Depth-first search over push edges must find no back edge."""
+    outgoing: dict[int, list[int]] = {}
+    for sender, target in push_edges(driver):
+        outgoing.setdefault(sender, []).append(target)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[int, int] = {}
+    for start in outgoing:
+        if color.get(start, WHITE) != WHITE:
+            continue
+        stack = [(start, iter(outgoing.get(start, ())))]
+        color[start] = GREY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                state = color.get(child, WHITE)
+                assert state != GREY, (
+                    f"push cycle through {child} (path: "
+                    f"{[n for n, _ in stack]})"
+                )
+                if state == WHITE:
+                    color[child] = GREY
+                    stack.append((child, iter(outgoing.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+
+
+def assert_interior_shape(driver: SyncDupDriver) -> None:
+    """Forwarders fork (>= 2 entries); push-graph leaves are subscribers."""
+    edges = push_edges(driver)
+    senders = {sender for sender, _ in edges}
+    receivers = {target for _, target in edges}
+    root = driver.tree.root
+    for sender in senders:
+        if sender == root:
+            continue
+        entries = driver.s_list(sender)
+        assert len(entries) >= 2, (
+            f"interior node {sender} forwards with a single-entry list "
+            f"{sorted(entries)}"
+        )
+    for node in receivers - senders:
+        # A push-graph leaf consumes the update itself: it must be an
+        # interested subscriber, not a dead-end relay.
+        assert driver.protocol.is_subscribed(node), (
+            f"push dead-ends at {node}, which is not subscribed"
+        )
+
+
+def assert_exact_coverage(driver: SyncDupDriver) -> None:
+    """Pushes reach exactly the interested set plus forwarding interiors."""
+    recipients = driver.push_recipients()
+    interested = driver.interested - {driver.tree.root}
+    assert interested <= recipients, (
+        f"interested but unreached: {sorted(interested - recipients)}"
+    )
+    for extra in recipients - interested:
+        assert driver.protocol.in_dup_tree(extra), (
+            f"push reaches {extra}, which neither wants nor forwards it"
+        )
+
+
+def assert_all(driver: SyncDupDriver) -> None:
+    assert_branch_uniqueness(driver)
+    assert_push_graph_acyclic(driver)
+    assert_interior_shape(driver)
+    assert_exact_coverage(driver)
+
+
+# -- history generation ------------------------------------------------------
+
+OPS = ("sub", "unsub", "fail", "repair", "join-leaf", "leave")
+
+
+@st.composite
+def history(draw):
+    """A random tree plus an interleaved operation sequence."""
+    size = draw(st.integers(3, 32))
+    seed = draw(st.integers(0, 2**31))
+    steps = draw(
+        st.lists(
+            st.tuples(st.sampled_from(OPS), st.integers(0, 2**31)),
+            min_size=1,
+            max_size=35,
+        )
+    )
+    return size, seed, steps
+
+
+def _drive(driver: SyncDupDriver, steps, next_id: int) -> int:
+    """Apply an interleaving; ``repair`` re-subscribes after a crash."""
+    tree = driver.tree
+    for kind, step_seed in steps:
+        rng = np.random.default_rng(step_seed)
+        non_root = [n for n in tree.nodes if n != tree.root]
+        if not non_root:
+            continue
+        pick = non_root[int(rng.integers(len(non_root)))]
+        if kind == "sub":
+            driver.subscribe(pick)
+        elif kind == "unsub":
+            driver.unsubscribe(pick)
+        elif kind == "fail" and len(non_root) > 1:
+            driver.fail(pick)
+        elif kind == "repair" and len(non_root) > 1:
+            # Crash a node, then have a surviving interested node renew
+            # its subscription — the paper's detect-and-repair sequence.
+            driver.fail(pick)
+            survivors = [
+                n for n in tree.nodes if n != tree.root and n != pick
+            ]
+            if survivors:
+                driver.subscribe(
+                    survivors[int(rng.integers(len(survivors)))]
+                )
+        elif kind == "join-leaf":
+            nodes = list(tree.nodes)
+            driver.join_leaf(nodes[int(rng.integers(len(nodes)))], next_id)
+            next_id += 1
+        elif kind == "leave" and len(non_root) > 1:
+            driver.leave(pick)
+    return next_id
+
+
+class TestInvariantProperties:
+    @given(history())
+    @settings(max_examples=120, deadline=None)
+    def test_branch_uniqueness_and_acyclicity(self, scenario):
+        size, seed, steps = scenario
+        tree = random_search_tree(size, 4, np.random.default_rng(seed))
+        driver = SyncDupDriver(tree)
+        next_id = size
+        for i in range(len(steps)):
+            next_id = _drive(driver, steps[i : i + 1], next_id)
+            assert_branch_uniqueness(driver)
+            assert_push_graph_acyclic(driver)
+
+    @given(history())
+    @settings(max_examples=120, deadline=None)
+    def test_interior_shape_after_history(self, scenario):
+        size, seed, steps = scenario
+        tree = random_search_tree(size, 4, np.random.default_rng(seed))
+        driver = SyncDupDriver(tree)
+        _drive(driver, steps, size)
+        assert_interior_shape(driver)
+
+    @given(history())
+    @settings(max_examples=120, deadline=None)
+    def test_push_covers_exactly_interested(self, scenario):
+        size, seed, steps = scenario
+        tree = random_search_tree(size, 4, np.random.default_rng(seed))
+        driver = SyncDupDriver(tree)
+        _drive(driver, steps, size)
+        assert_exact_coverage(driver)
+
+    @given(history())
+    @settings(max_examples=60, deadline=None)
+    def test_all_invariants_after_every_step(self, scenario):
+        size, seed, steps = scenario
+        tree = random_search_tree(size, 4, np.random.default_rng(seed))
+        driver = SyncDupDriver(tree)
+        next_id = size
+        for i in range(len(steps)):
+            next_id = _drive(driver, steps[i : i + 1], next_id)
+            assert_all(driver)
+
+
+class TestExplicitSubstitute:
+    """Substitute payloads stepped hop-by-hop, not just via the driver."""
+
+    def test_one_to_two_transition_emits_substitute(self, figure2_tree):
+        driver = SyncDupDriver(figure2_tree)
+        driver.subscribe(7)
+        # Node 6 now relays for 7; subscribing 8 takes 6's list from one
+        # to two entries, which must swap 6 in for 7 upstream.
+        driver.interested.add(8)
+        result = driver.protocol.ensure_subscribed(8)
+        payloads = list(result.upstream)
+        assert payloads and isinstance(payloads[0], Subscribe)
+        step = driver.protocol.step(6, payloads[0])
+        assert any(
+            isinstance(p, Substitute) and (p.old, p.new) == (7, 6)
+            for p in step.upstream
+        ), f"expected substitute(7, 6), got {step.upstream}"
+        # Complete the walk and verify the invariants all hold again.
+        driver._walk(6, step.upstream)
+        assert_all(driver)
+        assert driver.push_recipients() >= {7, 8}
+
+    def test_substitute_chain_through_relays(self, figure2_tree):
+        driver = SyncDupDriver(figure2_tree)
+        driver.subscribe(8)
+        # 5 and 6 both relay the single advertisement "8" up to 3.
+        assert driver.s_list(5) == {8} and driver.s_list(3) >= {8}
+        driver.interested.add(7)
+        result = driver.protocol.ensure_subscribed(7)
+        step = driver.protocol.step(6, result.upstream[0])
+        substitutes = [p for p in step.upstream if isinstance(p, Substitute)]
+        assert substitutes, "junction formation must substitute upstream"
+        # Relay 5 holds one entry: it rewrites and forwards unchanged.
+        relay = driver.protocol.step(5, substitutes[0])
+        assert driver.s_list(5) == {6}
+        assert [
+            (p.old, p.new)
+            for p in relay.upstream
+            if isinstance(p, Substitute)
+        ] == [(8, 6)]
+        driver._walk(5, relay.upstream)
+        assert_all(driver)
+
+    def test_mid_flight_substitute_then_completion(self, figure2_tree):
+        """Invariants are restored once a paused substitute completes."""
+        driver = SyncDupDriver(figure2_tree)
+        for node in (4, 7):
+            driver.subscribe(node)
+        driver.interested.add(8)
+        result = driver.protocol.ensure_subscribed(8)
+        step = driver.protocol.step(6, result.upstream[0])
+        # The substitute is in flight (held, not yet applied upstream);
+        # finishing the walk must converge back to a consistent state.
+        driver._walk(6, step.upstream)
+        assert_all(driver)
+        assert driver.push_recipients() >= {4, 7, 8}
+
+
+class TestFailureRepair:
+    @given(st.integers(0, 2**31), st.integers(6, 28))
+    @settings(max_examples=80, deadline=None)
+    def test_interior_crash_is_repairable(self, seed, size):
+        rng = np.random.default_rng(seed)
+        tree = random_search_tree(size, 4, rng)
+        driver = SyncDupDriver(tree)
+        non_root = [n for n in tree.nodes if n != tree.root]
+        for node in non_root[:: max(1, len(non_root) // 5)]:
+            driver.subscribe(node)
+        # Crash one subscribed or forwarding node, repair, re-check.
+        candidates = [
+            n
+            for n in non_root
+            if driver.protocol.is_subscribed(n)
+            or driver.protocol.in_dup_tree(n)
+        ]
+        if len(candidates) < 2:
+            return
+        victim = candidates[int(rng.integers(len(candidates)))]
+        driver.fail(victim)
+        assert_all(driver)
+        # Survivors keep receiving pushes without any extra repair step.
+        assert driver.interested - {tree.root} <= driver.push_recipients()

@@ -1,0 +1,86 @@
+"""Golden-file regression tests for the experiment pipeline.
+
+Every experiment run is a pure function of its configuration and root
+seed, so the full output of a smoke-scale run can be pinned as a checked
+in JSON golden: any change to the simulation kernel, the schemes, the
+seed derivation, or the metrics plumbing that moves a single number
+fails here first, with a readable diff.
+
+When a change *intentionally* moves the numbers (and the diff has been
+reviewed), regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+
+The goldens are recorded with the serial engine; because the parallel
+engine is bit-identical by construction, the same goldens must hold
+under any ``REPRO_WORKERS`` setting — CI's workers=2 matrix leg proves
+it on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+from repro.experiments import get_experiment
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+def canonical(result) -> str:
+    """Stable JSON text of an ExperimentResult's observable output."""
+
+    def clean(value):
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "NaN"
+            if math.isinf(value):
+                return "Infinity" if value > 0 else "-Infinity"
+            # Full precision: the golden pins bit-identical floats.
+            return float.hex(value)
+        if isinstance(value, dict):
+            return {str(k): clean(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [clean(v) for v in value]
+        return value
+
+    record = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "rows": [clean(dict(row)) for row in result.rows],
+        "shape_checks": [
+            {"claim": check.claim, "passed": check.passed}
+            for check in result.shape_checks
+        ],
+    }
+    return json.dumps(record, indent=2, sort_keys=True) + "\n"
+
+
+def check_golden(result, name: str, update: bool) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    text = canonical(result)
+    if update or not path.exists():
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return
+    expected = path.read_text(encoding="utf-8")
+    assert text == expected, (
+        f"{name} output drifted from its golden; if the change is "
+        f"intended, rerun with --update-goldens and review the diff of "
+        f"{path}"
+    )
+
+
+class TestGoldens:
+    def test_figure4_smoke_matches_golden(self, update_goldens):
+        result = get_experiment("figure4")(
+            scale="smoke", replications=1, seed=1, rates=(1.0, 10.0)
+        )
+        check_golden(result, "figure4_smoke", update_goldens)
+
+    def test_resilience_smoke_matches_golden(self, update_goldens):
+        result = get_experiment("resilience")(
+            scale="smoke", replications=1, seed=1
+        )
+        check_golden(result, "resilience_smoke", update_goldens)
