@@ -1,0 +1,16 @@
+"""Benchmark: the partition study (splits + in-partition failover)."""
+
+from repro.experiments import partition_study
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_partition_study(benchmark):
+    results = run_experiment(
+        benchmark,
+        partition_study.run,
+        scale="quick",
+        replications=1,
+        durations=(60.0, 300.0, 900.0),
+    )
+    assert_shapes(results)

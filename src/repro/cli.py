@@ -13,6 +13,9 @@ Subcommands:
   hop-attribution summary printed at the end.
 - ``repro-dup trace`` — synthesize a reusable query trace, or replay a
   saved one against a scheme.
+- ``repro-dup chaos`` — replay a named chaos scenario (partitions,
+  authority crash, failover, consistency auditor) against a scheme;
+  ``repro-dup chaos --list`` shows the stock scenarios.
 
 Examples
 --------
@@ -21,11 +24,14 @@ Examples
     repro-dup list
     repro-dup run figure4 --scale bench --replications 2
     repro-dup run table3 --scale paper          # hours, full fidelity
+    repro-dup run partition --scale smoke --replications 1
     repro-dup simulate --scheme dup --nodes 2048 --rate 10 --duration 36000
     repro-dup simulate --scheme dup --trace-out traces.jsonl
     repro-dup observe --scheme dup --nodes 512 --duration 14400
     repro-dup trace make workload.trace --nodes 512 --rate 5
     repro-dup trace replay workload.trace --scheme dup --nodes 512
+    repro-dup chaos --list
+    repro-dup chaos blackout --scheme dup --retry-budget 4 --lease-ttl 300
 """
 
 from __future__ import annotations
@@ -181,6 +187,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--arrival", default="exponential", choices=("exponential", "pareto")
     )
     trace_parser.add_argument("--seed", type=int, default=1)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="replay a named chaos scenario"
+    )
+    chaos_parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario name (omit or use --list to see them)",
+    )
+    chaos_parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list the stock scenarios and exit",
+    )
+    chaos_parser.add_argument(
+        "--scheme", default="dup", choices=available_schemes()
+    )
+    chaos_parser.add_argument("--nodes", type=int, default=64)
+    chaos_parser.add_argument("--degree", type=int, default=4)
+    chaos_parser.add_argument(
+        "--rate", type=float, default=3.0, help="queries/second network-wide"
+    )
+    chaos_parser.add_argument("--theta", type=float, default=0.95)
+    chaos_parser.add_argument("--threshold", type=int, default=6)
+    chaos_parser.add_argument("--ttl", type=float, default=600.0)
+    chaos_parser.add_argument("--push-lead", type=float, default=60.0)
+    chaos_parser.add_argument("--duration", type=float, default=3600.0)
+    chaos_parser.add_argument("--warmup", type=float, default=900.0)
+    chaos_parser.add_argument(
+        "--topology",
+        default="random-tree",
+        choices=("random-tree", "chord", "can", "balanced", "chain", "star"),
+    )
+    chaos_parser.add_argument("--seed", type=int, default=1)
+    _add_fault_arguments(chaos_parser)
     return parser
 
 
@@ -228,11 +271,65 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
         default=0.0,
         help="lease duration for DUP subscriptions (0 disables leases)",
     )
+    group.add_argument(
+        "--partition-at",
+        type=float,
+        default=0.0,
+        help="open a network partition at this simulated time (0: none)",
+    )
+    group.add_argument(
+        "--partition-duration",
+        type=float,
+        default=300.0,
+        help="how long the partition lasts before healing (default: 300)",
+    )
+    group.add_argument(
+        "--partition-components",
+        type=int,
+        default=2,
+        help="how many components the partition splits into (default: 2)",
+    )
+    group.add_argument(
+        "--standbys",
+        type=int,
+        default=0,
+        help=(
+            "authority standbys receiving replicated version state "
+            "(0 disables replication and failover)"
+        ),
+    )
+    group.add_argument(
+        "--failover-timeout",
+        type=float,
+        default=120.0,
+        help=(
+            "authority silence a standby tolerates before promoting "
+            "itself (default: 120)"
+        ),
+    )
+    group.add_argument(
+        "--authority-crash-at",
+        type=float,
+        default=0.0,
+        help=(
+            "deliberately crash the authority at this simulated time "
+            "(0: never; needs --standbys >= 1)"
+        ),
+    )
+    group.add_argument(
+        "--audit-interval",
+        type=float,
+        default=0.0,
+        help=(
+            "cadence of the runtime consistency auditor (0 disables; "
+            "DUP-family schemes only)"
+        ),
+    )
 
 
 def _fault_overrides(args: argparse.Namespace) -> dict:
     """SimulationConfig overrides from the resilience flags."""
-    from repro.net.faults import FaultPlan
+    from repro.net.faults import FaultPlan, PartitionWindow
 
     overrides: dict = {}
     plan_fields: dict = {}
@@ -242,6 +339,14 @@ def _fault_overrides(args: argparse.Namespace) -> dict:
         plan_fields["duplicate_rate"] = args.duplicate_rate
     if args.silent_failures:
         plan_fields["silent_failures"] = True
+    if args.partition_at > 0:
+        plan_fields["partitions"] = (
+            PartitionWindow(
+                start=args.partition_at,
+                duration=args.partition_duration,
+                components=args.partition_components,
+            ),
+        )
     if plan_fields:
         overrides["faults"] = FaultPlan(**plan_fields)
     if args.retry_budget > 0:
@@ -249,6 +354,13 @@ def _fault_overrides(args: argparse.Namespace) -> dict:
         overrides["ack_timeout"] = args.ack_timeout
     if args.lease_ttl > 0:
         overrides["lease_ttl"] = args.lease_ttl
+    if args.standbys > 0:
+        overrides["authority_standbys"] = args.standbys
+        overrides["failover_timeout"] = args.failover_timeout
+    if args.authority_crash_at > 0:
+        overrides["authority_crash_at"] = args.authority_crash_at
+    if args.audit_interval > 0:
+        overrides["audit_interval"] = args.audit_interval
     return overrides
 
 
@@ -424,6 +536,53 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    from repro.engine.chaos import SCENARIOS, get_scenario
+
+    if args.list_scenarios or args.scenario is None:
+        print("chaos scenarios:")
+        for name in sorted(SCENARIOS):
+            print(f"  {name:10s} {SCENARIOS[name].description}")
+        return 0
+    scenario = get_scenario(args.scenario)
+    config = SimulationConfig(
+        scheme=args.scheme,
+        num_nodes=args.nodes,
+        max_degree=args.degree,
+        query_rate=args.rate,
+        zipf_theta=args.theta,
+        threshold_c=args.threshold,
+        ttl=args.ttl,
+        push_lead=args.push_lead,
+        duration=args.duration,
+        warmup=args.warmup,
+        topology=args.topology,
+        seed=args.seed,
+        **_fault_overrides(args),
+    )
+    config = scenario.apply(config)
+    print(f"scenario: {scenario.name} -- {scenario.description}")
+    print(f"config: {config.describe()}")
+    result = run_simulation(config)
+    print(result)
+    if result.extras:
+        chaos_keys = tuple(
+            k
+            for k in sorted(result.extras)
+            if k.split("_")[0]
+            in ("audit", "failover", "partition", "partitions", "standby")
+        )
+        for key in chaos_keys:
+            print(f"  {key}: {result.extras[key]}")
+        rest = {
+            k: v for k, v in result.extras.items() if k not in chaos_keys
+        }
+        if rest:
+            print(f"  other extras: {rest}")
+    print(f"wall: {result.wall_seconds:.1f}s")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-dup`` console script."""
     args = _build_parser().parse_args(argv)
@@ -437,6 +596,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_observe(args)
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "chaos":
+        return _command_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

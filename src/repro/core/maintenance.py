@@ -185,6 +185,57 @@ class DupMaintenance:
             if advertisement is not None:
                 self._emit(child, Subscribe(advertisement))
 
+    def promote_root(self, standby: NodeId) -> None:
+        """The authority fails; an *existing tree node* takes over.
+
+        The standby-failover variant of :meth:`root_failed`: the successor
+        is not a fresh node but a standby already holding a position (and
+        possibly DUP state) in the tree.  The standby's old position is
+        spliced out exactly like a graceful departure — its subscriber
+        entries hand over to the absorbing parent, with the same
+        advertisement correction — and it is then installed as the root.
+        The old root's state is lost with it; each direct child of the new
+        root re-registers its advertisement (failure case 5).
+        """
+        old_root = self._tree.root
+        if standby == old_root:
+            raise TopologyError(f"standby {standby} is already the root")
+        s_standby = self._protocol.s_list(standby)
+        end_node = len(s_standby) == 1 and standby in s_standby
+        entries = [e for e in s_standby.snapshot() if e != standby]
+        self._protocol.drop_node(old_root)
+        self._protocol.drop_node(standby)
+        absorber = self._tree.promote_to_root(standby)
+        if absorber == old_root:
+            # The standby was a direct child of the dead root: its former
+            # children are its own children now, so it keeps serving their
+            # virtual paths from the root position.
+            if entries:
+                self._protocol.adopt_entries(standby, entries)
+        elif end_node:
+            # The standby was the end node of a virtual path; as the root
+            # it no longer needs one — clear the stale path upward.
+            self._emit_local_unsubscribe(absorber, standby)
+        elif entries:
+            absorber_list = self._protocol.s_list(absorber)
+            pre_adv = _advertisement(absorber_list, absorber)
+            absorber_list.discard(standby)
+            self._protocol.adopt_entries(absorber, entries)
+            self._charge(1)  # standby -> absorber handover notification
+            post_adv = _advertisement(absorber_list, absorber)
+            if (
+                absorber != self._tree.root
+                and pre_adv is not None
+                and post_adv is not None
+                and pre_adv != post_adv
+            ):
+                self._emit(absorber, Substitute(pre_adv, post_adv))
+        for child in self._tree.children(standby):
+            s_child = self._protocol.s_list(child)
+            advertisement = _advertisement(s_child, child)
+            if advertisement is not None:
+                self._emit(child, Subscribe(advertisement))
+
     # -- helpers ------------------------------------------------------------
     def _routes_through(
         self, upper: NodeId, entry: NodeId, lower: NodeId

@@ -1,0 +1,229 @@
+"""Named, replayable chaos scenarios.
+
+A :class:`ChaosScenario` is a declarative bundle of the robustness
+machinery — partition windows, message loss, a deliberate authority
+crash, standby failover, and the consistency auditor — expressed as
+*offsets from warm-up* so the same scenario applies unchanged to any
+scale's configuration.  Applying a scenario is a pure transformation of
+a :class:`~repro.engine.config.SimulationConfig`; nothing else changes,
+so a scenario run differs from its baseline only by the faults it
+declares, and the empty scenario (``"calm"``) is the identity: applying
+it returns the config object untouched and the run stays bit-identical
+to one that never imported this module.
+
+Scenarios compose with faults the config already carries: windows are
+appended to the existing plan (validation still enforces the sorted,
+non-overlapping schedule), loss rates and flags are merged by maximum /
+union, and failover knobs only ever tighten (a config already running
+more standbys keeps them).
+
+The registry :data:`SCENARIOS` names the stock scenarios; ``"blackout"``
+is the acceptance scenario of the robustness PR — a 60 s partition with
+the authority crashing silently mid-partition under 10 % message loss,
+from which a ``dup`` run with the resilience stack must reconverge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.engine.config import SimulationConfig
+from repro.errors import ConfigError
+from repro.net.faults import FaultPlan, PartitionWindow
+
+#: (start offset after warm-up, duration, components) per window.
+PartitionSpec = tuple[float, float, int]
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named chaos schedule, relative to the config's warm-up.
+
+    Attributes
+    ----------
+    name:
+        Registry key, also used by the CLI (``repro-dup chaos NAME``).
+    description:
+        One line for ``repro-dup chaos --list``.
+    partitions:
+        Partition windows as ``(offset, duration, components)`` triples;
+        each opens ``offset`` seconds after warm-up ends.
+    crash_offset:
+        Crash the authority this long after warm-up (None: no crash).
+        Under ``silent_failures`` the crash blackholes the root until a
+        standby's failover timeout expires; otherwise promotion is
+        oracle-immediate.
+    loss_rate:
+        Uniform transmission loss the scenario adds (merged by max with
+        any loss the config already injects).
+    silent_failures:
+        Whether crashes blackhole instead of oracle-notifying.
+    standbys / failover_timeout:
+        Authority replication fan-out and the silence budget before a
+        standby promotes itself.  Forced to at least 1 standby whenever
+        the scenario crashes the authority.
+    audit_interval:
+        Cadence of the consistency auditor (0 leaves it off).
+    """
+
+    name: str
+    description: str
+    partitions: tuple[PartitionSpec, ...] = ()
+    crash_offset: "float | None" = None
+    loss_rate: float = 0.0
+    silent_failures: bool = False
+    standbys: int = 0
+    failover_timeout: float = 120.0
+    audit_interval: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.crash_offset is not None and self.standbys < 1:
+            raise ConfigError(
+                f"scenario {self.name!r} crashes the authority but "
+                "provisions no standbys"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether applying this scenario changes nothing."""
+        return (
+            not self.partitions
+            and self.crash_offset is None
+            and self.loss_rate == 0.0
+            and not self.silent_failures
+            and self.standbys == 0
+            and self.audit_interval == 0.0
+        )
+
+    def apply(self, config: SimulationConfig) -> SimulationConfig:
+        """The config with this scenario's chaos merged in.
+
+        Offsets resolve against ``config.warmup``; every resulting
+        absolute time must fit inside the run's horizon.  The empty
+        scenario returns ``config`` itself.
+        """
+        if self.is_empty:
+            return config
+        changes: dict = {}
+
+        windows = tuple(
+            PartitionWindow(
+                start=config.warmup + offset,
+                duration=duration,
+                components=components,
+            )
+            for offset, duration, components in self.partitions
+        )
+        for window in windows:
+            if window.end > config.duration:
+                raise ConfigError(
+                    f"scenario {self.name!r}: partition heals at "
+                    f"{window.end:g}s, past the horizon "
+                    f"({config.duration:g}s)"
+                )
+        if windows or self.loss_rate > 0 or self.silent_failures:
+            base = config.faults if config.faults is not None else FaultPlan()
+            changes["faults"] = dataclasses.replace(
+                base,
+                loss_rate=max(base.loss_rate, self.loss_rate),
+                silent_failures=base.silent_failures or self.silent_failures,
+                partitions=tuple(
+                    sorted(
+                        base.partitions + windows, key=lambda w: w.start
+                    )
+                ),
+            )
+
+        if self.crash_offset is not None:
+            crash_at = config.warmup + self.crash_offset
+            if crash_at >= config.duration:
+                raise ConfigError(
+                    f"scenario {self.name!r}: authority crash at "
+                    f"{crash_at:g}s, past the horizon "
+                    f"({config.duration:g}s)"
+                )
+            changes["authority_crash_at"] = crash_at
+        if self.standbys > 0:
+            changes["authority_standbys"] = max(
+                config.authority_standbys, self.standbys
+            )
+            changes["failover_timeout"] = (
+                self.failover_timeout
+                if config.authority_standbys == 0
+                else min(config.failover_timeout, self.failover_timeout)
+            )
+        if self.audit_interval > 0:
+            changes["audit_interval"] = (
+                self.audit_interval
+                if config.audit_interval == 0
+                else min(config.audit_interval, self.audit_interval)
+            )
+        return config.replace(**changes)
+
+
+#: Stock scenarios, keyed by name.
+SCENARIOS: dict[str, ChaosScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        ChaosScenario(
+            name="calm",
+            description="no chaos at all; applying it is the identity",
+        ),
+        ChaosScenario(
+            name="split",
+            description=(
+                "one clean 5-minute two-way partition, no loss, no "
+                "crash; measures pure partition divergence and healing"
+            ),
+            partitions=((300.0, 300.0, 2),),
+            audit_interval=150.0,
+        ),
+        ChaosScenario(
+            name="flap",
+            description=(
+                "two short partitions in quick succession (network "
+                "flapping), three components the second time"
+            ),
+            partitions=((300.0, 60.0, 2), (480.0, 60.0, 3)),
+            audit_interval=150.0,
+        ),
+        ChaosScenario(
+            name="regicide",
+            description=(
+                "oracle authority crash with two standbys and no other "
+                "faults; isolates the failover hand-off"
+            ),
+            crash_offset=300.0,
+            standbys=2,
+            audit_interval=150.0,
+        ),
+        ChaosScenario(
+            name="blackout",
+            description=(
+                "the acceptance scenario: 60 s two-way partition, the "
+                "authority crashing silently mid-partition, 10% loss; "
+                "standbys must detect, promote, and the auditor must "
+                "drive reconvergence"
+            ),
+            partitions=((300.0, 60.0, 2),),
+            crash_offset=330.0,
+            loss_rate=0.10,
+            silent_failures=True,
+            standbys=2,
+            failover_timeout=120.0,
+            audit_interval=150.0,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> ChaosScenario:
+    """Look up a stock scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown chaos scenario {name!r}; "
+            f"available: {tuple(sorted(SCENARIOS))}"
+        ) from None

@@ -115,6 +115,26 @@ class SimulationConfig:
     lease_refresh_interval:
         How often lease refreshes travel upstream (0 means
         ``lease_ttl / 3``).
+    authority_standbys:
+        Number of standby nodes the authority replicates its version
+        state to (0 disables replication and failover).  Standbys are
+        chosen breadth-first from the root at start-up; on an authority
+        crash the first functioning standby promotes itself, re-roots
+        the tree, and resumes version rotation.
+    failover_timeout:
+        How long a standby tolerates authority silence (no heartbeat,
+        no replication) before promoting itself; heartbeats flow at a
+        third of this.  Only meaningful with ``authority_standbys > 0``.
+    authority_crash_at:
+        Deliberately crash the authority at this simulated time (0
+        disables).  Under ``silent_failures`` the crash blackholes the
+        root until standby detection fires; otherwise promotion is
+        oracle-immediate.  Requires ``authority_standbys >= 1``.
+    audit_interval:
+        Cadence of the runtime consistency auditor
+        (:mod:`repro.core.auditor`), which re-checks the DUP tree
+        invariants and repairs divergence left behind by partitions and
+        failovers (0 disables; only DUP-family schemes are audited).
     """
 
     scheme: str = "dup"
@@ -146,6 +166,10 @@ class SimulationConfig:
     retry_backoff: float = 2.0
     lease_ttl: float = 0.0
     lease_refresh_interval: float = 0.0
+    authority_standbys: int = 0
+    failover_timeout: float = 120.0
+    authority_crash_at: float = 0.0
+    audit_interval: float = 0.0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -233,6 +257,39 @@ class SimulationConfig:
             raise ConfigError(
                 "lease_refresh_interval must be smaller than lease_ttl "
                 f"({self.lease_refresh_interval} >= {self.lease_ttl})"
+            )
+        if self.authority_standbys < 0:
+            raise ConfigError(
+                "authority_standbys must be >= 0, got "
+                f"{self.authority_standbys}"
+            )
+        if self.authority_standbys >= self.num_nodes:
+            raise ConfigError(
+                f"authority_standbys ({self.authority_standbys}) must be "
+                f"smaller than the overlay ({self.num_nodes} nodes)"
+            )
+        if self.failover_timeout <= 0:
+            raise ConfigError(
+                "failover_timeout must be positive, got "
+                f"{self.failover_timeout}"
+            )
+        if self.authority_crash_at < 0:
+            raise ConfigError(
+                "authority_crash_at must be >= 0, got "
+                f"{self.authority_crash_at}"
+            )
+        if self.audit_interval < 0:
+            raise ConfigError(
+                f"audit_interval must be >= 0, got {self.audit_interval}"
+            )
+        wants_root_crash = self.authority_crash_at > 0 or (
+            self.churn is not None and self.churn.allow_root_failure
+        )
+        if wants_root_crash and self.authority_standbys < 1:
+            raise ConfigError(
+                "crashing the authority (authority_crash_at or "
+                "churn.allow_root_failure) needs authority_standbys >= 1 "
+                "so a successor exists"
             )
 
     def replace(self, **changes) -> "SimulationConfig":

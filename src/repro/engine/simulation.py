@@ -29,14 +29,21 @@ from repro.core.interest import EwmaInterestPolicy, WindowInterestPolicy
 from repro.engine.config import SimulationConfig
 from repro.engine.results import SimulationResult
 from repro.errors import ConfigError
-from repro.index.authority import Authority
+from repro.index.authority import Authority, StandbyPool
 from repro.index.cache import IndexCache
 from repro.index.entry import IndexVersion
 from repro.metrics.counters import CostLedger
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.registry import MetricsRegistry
 from repro.net.faults import FaultInjector
-from repro.net.message import AckMessage, Category, Message, ReplyMessage
+from repro.net.message import (
+    AckMessage,
+    AuthorityHeartbeat,
+    AuthorityReplicate,
+    Category,
+    Message,
+    ReplyMessage,
+)
 from repro.net.reliable import ReliableChannel
 from repro.net.transport import Transport, TransportEvent
 from repro.schemes.registry import make_scheme
@@ -126,6 +133,17 @@ class Simulation:
         self.scheme = make_scheme(config.scheme)
         self.scheme.bind(self)
         self.authority: Optional[Authority] = None
+        # -- authority failover: standbys chosen breadth-first from the
+        # root, so the most promotable nodes sit closest to it.
+        self.standby_pool: Optional[StandbyPool] = None
+        if config.authority_standbys > 0:
+            self.standby_pool = StandbyPool(
+                env=self.env,
+                standbys=self._choose_standbys(config.authority_standbys),
+                failover_timeout=config.failover_timeout,
+            )
+        self._failover_at: Optional[float] = None
+        self.auditor = None
         self._monitor = None
         self._trace = None
         self._ran = False
@@ -174,6 +192,30 @@ class Simulation:
                     lambda: float(len(injector.undetected())),
                 )
                 registry.gauge("faults.suspicions", lambda: self._suspicions)
+            if injector.plan.partitions:
+                registry.gauge(
+                    "partition.started",
+                    lambda: float(injector.partitions_started),
+                )
+                registry.gauge(
+                    "partition.drops", lambda: float(injector.partition_drops)
+                )
+                registry.gauge(
+                    "partition.active",
+                    lambda: float(injector.partition_active),
+                )
+        pool = self.standby_pool
+        if pool is not None:
+            registry.gauge(
+                "failover.replications", lambda: float(pool.replications)
+            )
+            registry.gauge(
+                "failover.heartbeats", lambda: float(pool.heartbeats)
+            )
+            registry.gauge(
+                "failover.promoted",
+                lambda: float(pool.promoted is not None),
+            )
         channel = self.reliable
         if channel is not None:
             registry.gauge("reliable.retries", lambda: channel.retries)
@@ -208,6 +250,29 @@ class Simulation:
         if config.topology == "star":
             return star_tree(config.num_nodes), 0
         raise ConfigError(f"unknown topology {config.topology!r}")
+
+    def _choose_standbys(self, count: int) -> list[NodeId]:
+        """The ``count`` nodes closest to the root, breadth-first.
+
+        Standbys near the root keep the replication path short and, on
+        promotion, disturb the tree the least (a direct child of the
+        root hands its own children straight to the new root).
+        """
+        from collections import deque
+
+        chosen: list[NodeId] = []
+        queue = deque([self.tree.root])
+        while queue and len(chosen) < count:
+            node = queue.popleft()
+            for child in self.tree.children(node):
+                if len(chosen) < count:
+                    chosen.append(child)
+                queue.append(child)
+        if len(chosen) < count:  # pragma: no cover - validated in config
+            raise ConfigError(
+                f"topology too small for {count} authority standbys"
+            )
+        return chosen
 
     # -- facade used by schemes ------------------------------------------------
     def is_root(self, node: NodeId) -> bool:
@@ -320,6 +385,12 @@ class Simulation:
             and injector.is_dead(suspect)
             and suspect in self.tree
         ):
+            if suspect == self.tree.root:
+                # Failure case 5 cannot run node_failed (the root has no
+                # parent to splice into): route the suspicion to the
+                # standby failover machinery instead.
+                self._promote_standby()
+                return
             latency = injector.mark_detected(suspect)
             if latency is not None and self._detection_latency is not None:
                 self._detection_latency.observe(latency)
@@ -342,6 +413,10 @@ class Simulation:
         self.injector.mark_failed(victim)
         if self.reliable is not None:
             self.reliable.drop_sender(victim)
+        if victim == self.tree.root and self.authority is not None:
+            # A crashed authority issues nothing further; standbys will
+            # notice the heartbeat/replication silence and promote.
+            self.authority.stop()
 
     def _on_delivery_give_up(
         self, sender: NodeId, destination: NodeId, message: Message
@@ -351,10 +426,14 @@ class Simulation:
         self.suspect_peer(sender, destination)
 
     def _observe_fault_drops(self, event: TransportEvent) -> None:
-        # Injected losses and blackholes end queries just like churn
-        # drops do; count them so incomplete-query accounting stays
-        # honest under faults.
-        if event.kind != "drop" or event.reason not in ("loss", "blackhole"):
+        # Injected losses, blackholes, and partition cuts end queries
+        # just like churn drops do; count them so incomplete-query
+        # accounting stays honest under faults.
+        if event.kind != "drop" or event.reason not in (
+            "loss",
+            "blackhole",
+            "partition",
+        ):
             return
         if event.message.category in (Category.QUERY, Category.REPLY):
             self.note_incomplete_query()
@@ -516,6 +595,15 @@ class Simulation:
             if isinstance(message, ReplyMessage):
                 self.note_incomplete_query()
             return
+        if isinstance(message, (AuthorityReplicate, AuthorityHeartbeat)):
+            # Failover plumbing is consumed by the engine, not the scheme.
+            pool = self.standby_pool
+            if pool is not None:
+                if isinstance(message, AuthorityReplicate):
+                    pool.record_state(destination, message.state)
+                else:
+                    pool.record_heartbeat(destination)
+            return
         channel = self.reliable
         if channel is not None:
             if isinstance(message, AckMessage):
@@ -529,6 +617,161 @@ class Simulation:
 
     def _on_new_version(self, version: IndexVersion) -> None:
         self.scheme.on_new_version(version)
+        self._replicate_authority_state()
+
+    # -- authority failover ---------------------------------------------------
+    def _replicate_authority_state(self) -> None:
+        """Ship the authority's state to every standby (after each issue)."""
+        pool = self.standby_pool
+        if pool is None or self.authority is None:
+            return
+        root = self.tree.root
+        if not self.functioning(root):
+            return
+        state = self.authority.state()
+        for standby in pool.standbys:
+            if standby == root or standby not in self.tree:
+                continue
+            message = AuthorityReplicate(
+                key=self.key, state=state, sender=root
+            )
+            self.transport.send(standby, message, sender=root)
+
+    def _authority_heartbeat_loop(self):
+        """Authority -> standby liveness beacons between issues."""
+        pool = self.standby_pool
+        interval = pool.failover_timeout / 3.0
+        while True:
+            yield self.env.timeout(interval)
+            if pool.promoted is not None:
+                return
+            root = self.tree.root
+            if not self.functioning(root):
+                continue  # a crashed authority falls silent
+            for standby in pool.standbys:
+                if standby == root or standby not in self.tree:
+                    continue
+                message = AuthorityHeartbeat(key=self.key, sender=root)
+                self.transport.send(standby, message, sender=root)
+
+    def _failover_watch_loop(self):
+        """Standby-side crash detection: promote on authority silence.
+
+        Promotion additionally requires the authority to actually be
+        gone (``functioning`` false): silence alone can also mean the
+        standbys sit on the wrong side of a partition, and promoting a
+        standby while the real authority lives would split the brain —
+        a state this single-authority model cannot represent, so the
+        standbys deliberately wait the partition out.
+        """
+        pool = self.standby_pool
+        interval = pool.failover_timeout / 4.0
+        while True:
+            yield self.env.timeout(interval)
+            if pool.promoted is not None:
+                return
+            if not self.functioning(self.tree.root) and pool.starved(
+                self.functioning
+            ):
+                self._promote_standby()
+
+    def _crash_authority(self) -> None:
+        """Deliberately crash the current authority (chaos event)."""
+        pool = self.standby_pool
+        if pool is None or pool.promoted is not None:
+            return
+        root = self.tree.root
+        if not self.functioning(root):
+            return  # already down
+        if self.injector is not None and self.injector.plan.silent_failures:
+            # Silent: the root blackholes traffic and the authority falls
+            # silent; standbys detect the starvation and promote in the
+            # watch loop (realistic detection latency).
+            self.fail_silently(root)
+        else:
+            # Oracle: promotion is immediate, mirroring the oracle
+            # notification of ordinary node failures.
+            if self.authority is not None:
+                self.authority.stop()
+            self._promote_standby(force=True)
+
+    def _promote_standby(self, force: bool = False) -> Optional[NodeId]:
+        """Fail the tree over to the first viable standby.
+
+        Re-roots the search tree through the scheme's repair flows,
+        rebuilds the authority at the successor from the replicated
+        state (with a catch-up estimate for issues lost to replication
+        lag), and resumes version rotation.  Returns the successor, or
+        ``None`` when failover is impossible or already done.
+        """
+        pool = self.standby_pool
+        if pool is None or pool.promoted is not None:
+            return None
+        old_root = self.tree.root
+        if not force and self.functioning(old_root):
+            return None  # split-brain gate (see _failover_watch_loop)
+        successor = pool.promote(self.functioning, force=force)
+        if successor is None:
+            return None
+        injector = self.injector
+        if injector is not None and injector.is_dead(old_root):
+            latency = injector.mark_detected(old_root)
+            if latency is not None and self._detection_latency is not None:
+                self._detection_latency.observe(latency)
+        if self.authority is not None and not self.authority.stopped:
+            self.authority.stop()
+        state = pool.state_at(successor)
+        if state is None and force and self.authority is not None:
+            # Oracle crash before the first replication arrived: the
+            # engine may read the state directly, like other oracle paths.
+            state = self.authority.state()
+        self.scheme.on_root_failed(successor)
+        self.forget_node(old_root)
+        refresh = self.config.ttl - self.config.push_lead
+        if state is not None:
+            # Catch up past issues lost with the old root: one per elapsed
+            # refresh interval since the snapshot, plus one for the gap.
+            elapsed = max(0.0, self.env.now - state.replicated_at)
+            initial = state.next_version + int(elapsed // refresh) + 1
+            value = state.value
+        else:  # pragma: no cover - desperation path, no replica anywhere
+            initial = 0
+            value = f"host-of-{self.key}"
+        self.authority = Authority(
+            env=self.env,
+            key=self.key,
+            ttl=self.config.ttl,
+            push_lead=self.config.push_lead,
+            on_new_version=self._on_new_version,
+            value=value,
+            initial_version=initial,
+        )
+        self._failover_at = self.env.now
+        if self.auditor is not None:
+            self.auditor.note_disruption("failover")
+        return successor
+
+    def _partition_loop(self):
+        """Open and heal the scheduled partition windows."""
+        injector = self.injector
+        for window in injector.plan.partitions:
+            delay = window.start - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            injector.begin_partition(
+                list(self.tree.nodes), window.components
+            )
+            yield self.env.timeout(window.duration)
+            injector.heal_partition()
+            if self.auditor is not None:
+                self.auditor.note_disruption("partition")
+
+    def _audit_loop(self):
+        """Periodic anti-entropy sweep of the DUP tree invariants."""
+        interval = self.config.audit_interval
+        while True:
+            yield self.env.timeout(interval)
+            self.auditor.sweep()
 
     def _query_loop(self):
         config = self.config
@@ -540,10 +783,24 @@ class Simulation:
         )
         draws = self.streams.get("placement-draws")
         churning = config.churn is not None and config.churn.enabled
+        guarded = (
+            churning
+            or self.injector is not None
+            or config.authority_crash_at > 0
+        )
+
+        def eligible_origin(node: NodeId) -> bool:
+            # After a failover the promoted standby IS in the selector's
+            # population (only the original root was excluded at build
+            # time); keep the root-queries policy holding for it too.
+            return self.functioning(node) and (
+                config.root_queries or node != self.tree.root
+            )
+
         while True:
             yield self.env.timeout(arrivals.next_gap())
-            if churning or self.injector is not None:
-                node = self.selector.sample_alive(draws, self.functioning)
+            if guarded:
+                node = self.selector.sample_alive(draws, eligible_origin)
                 if node is None:
                     continue
             else:
@@ -582,11 +839,23 @@ class Simulation:
             parent = process.pick_victim(members)
             self.scheme.on_node_joined_leaf(parent, self.allocate_node_id())
         else:
-            if len(members) <= process.config.min_population or not non_root:
+            allow_root = (
+                kind is ChurnEvent.FAIL
+                and self.config.churn.allow_root_failure
+                and self.standby_pool is not None
+                and self.standby_pool.promoted is None
+                and self.functioning(self.tree.root)
+            )
+            candidates = members if allow_root else non_root
+            if len(members) <= process.config.min_population or not candidates:
                 return
-            victim = process.pick_victim(non_root)
+            victim = process.pick_victim(candidates)
             if kind is ChurnEvent.LEAVE:
                 self.scheme.on_node_left(victim)
+            elif victim == self.tree.root:
+                # The churned failure hit the authority itself: this is
+                # the deliberate root-crash path behind allow_root_failure.
+                self._crash_authority()
             elif (
                 self.injector is not None
                 and self.injector.plan.silent_failures
@@ -604,15 +873,56 @@ class Simulation:
         Tests use this to drive queries and churn by hand;
         :meth:`run` calls it before installing the workload processes.
         """
-        if self.authority is None:
-            self.authority = Authority(
-                env=self.env,
-                key=self.key,
-                ttl=self.config.ttl,
-                push_lead=self.config.push_lead,
-                on_new_version=self._on_new_version,
-                value=f"host-of-{self.key}",
+        if self.authority is not None:
+            return
+        if self.standby_pool is not None:
+            # Registered before the authority so the very first issue's
+            # replication finds the watch machinery in place.
+            self.env.process(
+                self._authority_heartbeat_loop(),
+                name=f"authority-heartbeat-{self.key}",
             )
+            self.env.process(
+                self._failover_watch_loop(),
+                name=f"failover-watch-{self.key}",
+            )
+        if self.injector is not None and self.injector.plan.partitions:
+            self.env.process(
+                self._partition_loop(), name=f"partitions-{self.key}"
+            )
+        if self.config.audit_interval > 0 and hasattr(
+            self.scheme, "protocol"
+        ):
+            from repro.core.auditor import ConsistencyAuditor
+
+            self.auditor = ConsistencyAuditor(
+                protocol=self.scheme.protocol,
+                tree=self.tree,
+                clock=lambda: self.env.now,
+                emit=self.scheme._emit_maintenance,
+            )
+            self.env.process(
+                self._audit_loop(), name=f"auditor-{self.key}"
+            )
+            registry = self.registry
+            auditor = self.auditor
+            registry.gauge(
+                "audit.violations", lambda: float(auditor.total_violations)
+            )
+            registry.gauge("audit.repairs", lambda: float(auditor.repairs))
+            registry.gauge("audit.sweeps", lambda: float(auditor.sweeps))
+        if self.config.authority_crash_at > 0:
+            self.env.call_later(
+                self.config.authority_crash_at, self._crash_authority
+            )
+        self.authority = Authority(
+            env=self.env,
+            key=self.key,
+            ttl=self.config.ttl,
+            push_lead=self.config.push_lead,
+            on_new_version=self._on_new_version,
+            value=f"host-of-{self.key}",
+        )
 
     def run(self) -> SimulationResult:
         """Execute the run and collect results (one-shot)."""
@@ -651,6 +961,20 @@ class Simulation:
                     extras["detection_count"] = summary["count"]
                     extras["detection_p50"] = summary["p50"]
                     extras["detection_p95"] = summary["p95"]
+            if injector.plan.partitions:
+                extras["partitions_started"] = injector.partitions_started
+                extras["partition_drops"] = injector.partition_drops
+        pool = self.standby_pool
+        if pool is not None:
+            extras["standby_replications"] = pool.replications
+            extras["standby_heartbeats"] = pool.heartbeats
+            extras["failover_promoted"] = (
+                pool.promoted if pool.promoted is not None else -1
+            )
+            if self._failover_at is not None:
+                extras["failover_at"] = self._failover_at
+        if self.auditor is not None:
+            extras.update(self.auditor.summary())
         if self.reliable is not None:
             extras["retries"] = self.reliable.retries
             extras["acked"] = self.reliable.acked

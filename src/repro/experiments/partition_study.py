@@ -1,0 +1,273 @@
+"""Partition study: divergence and reconvergence under network splits.
+
+The paper's evaluation never cuts the network: every DUP repair message
+reaches its destination, so the hard-state tree can only diverge for one
+message latency.  This experiment partitions the overlay and crashes the
+authority *inside* the partition — the worst case for a hard-state
+protocol, because subscriptions, repairs, and the failover hand-off all
+race the cut — and sweeps the partition duration for four variants on
+the same seeds:
+
+- ``dup-reliable`` — DUP with the full resilience stack (acked/retried
+  control traffic, leases, silent failures) plus authority standbys and
+  the runtime consistency auditor.  The crash is *silent*: standbys must
+  starve on heartbeats before one promotes itself.
+- ``dup-oracle`` — DUP with oracle failure detection: the crash promotes
+  a standby immediately and repair flows fire instantly.  The benign
+  upper bound the detection machinery is measured against.
+- ``cup`` / ``pcx`` — the soft-state baselines under the same partition
+  and (oracle) crash; their state self-heals within a TTL, which is
+  exactly the latency/staleness trade the study quantifies.
+
+Every sweep point is built by applying a :class:`ChaosScenario` (one
+partition window opening 300 s after warm-up, the authority crashing at
+its midpoint, two standbys, the auditor sweeping every 150 s) to the
+variant's base configuration, so the CLI's ``repro-dup chaos`` replays
+single points of this grid.
+
+Reported per (partition duration, variant): latency, cost per query,
+stale-read fraction, incomplete queries, cross-cut drops, whether the
+failover fired and when, and — for the DUP variants — the auditor's
+violation/repair counts and time-to-reconvergence percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.chaos import ChaosScenario
+from repro.engine.runner import replicate_many
+from repro.experiments.common import base_config
+from repro.experiments.spec import ExperimentResult, ShapeCheck
+
+EXPERIMENT_ID = "partition"
+TITLE = "DUP under partitions and in-partition authority failure"
+
+#: Partition durations (seconds) per sweep level.
+BENCH_DURATIONS = (60.0, 300.0, 900.0)
+SMOKE_DURATIONS = (60.0,)
+#: The partition opens this long after warm-up ends.
+PARTITION_OFFSET = 300.0
+#: Network-wide query rate (matches the resilience study: high enough
+#: that the DUP tree is populated and pushes flow every TTL cycle).
+RATE = 3.0
+#: Resilience-stack parameters for the ``dup-reliable`` variant.
+RETRY_BUDGET = 4
+ACK_TIMEOUT = 2.0
+#: Failover and audit cadence shared by every variant.
+STANDBYS = 2
+FAILOVER_TIMEOUT = 120.0
+AUDIT_INTERVAL = 150.0
+
+VARIANTS = ("dup-reliable", "dup-oracle", "cup", "pcx")
+
+
+def _smoke_config(seed: int) -> "object":
+    """A CI-sized base: one minute of wall clock for the whole sweep."""
+    return base_config(
+        "quick",
+        seed=seed,
+        num_nodes=64,
+        ttl=600.0,
+        push_lead=60.0,
+        warmup=900.0,
+        duration=3600.0,
+    )
+
+
+def _scenario(duration: float, silent: bool) -> ChaosScenario:
+    """One sweep point: a partition with the authority dying inside it."""
+    return ChaosScenario(
+        name=f"partition-{duration:g}s",
+        description="partition sweep point (see partition_study)",
+        partitions=((PARTITION_OFFSET, duration, 2),),
+        crash_offset=PARTITION_OFFSET + duration / 2.0,
+        silent_failures=silent,
+        standbys=STANDBYS,
+        failover_timeout=FAILOVER_TIMEOUT,
+        audit_interval=AUDIT_INTERVAL,
+    )
+
+
+def _variant_config(base, variant: str, duration: float):
+    if variant == "dup-reliable":
+        configured = base.replace(
+            scheme="dup",
+            retry_budget=RETRY_BUDGET,
+            ack_timeout=ACK_TIMEOUT,
+            lease_ttl=base.ttl / 2.0,
+        )
+        return _scenario(duration, silent=True).apply(configured)
+    scheme = {"dup-oracle": "dup"}.get(variant, variant)
+    return _scenario(duration, silent=False).apply(
+        base.replace(scheme=scheme)
+    )
+
+
+def _mean(values) -> float:
+    values = [v for v in values if not math.isnan(v)]
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def run(
+    scale: str = "bench",
+    replications: int = 2,
+    seed: int = 1,
+    durations=None,
+    rate: float = RATE,
+    workers=None,
+) -> ExperimentResult:
+    """Sweep the partition duration for every variant."""
+    if durations is None:
+        durations = SMOKE_DURATIONS if scale == "smoke" else BENCH_DURATIONS
+    base = (
+        _smoke_config(seed) if scale == "smoke" else base_config(scale, seed=seed)
+    ).replace(query_rate=rate)
+
+    results = replicate_many(
+        {
+            (duration, variant): _variant_config(base, variant, duration)
+            for duration in durations
+            for variant in VARIANTS
+        },
+        replications,
+        workers=workers,
+        experiment=EXPERIMENT_ID,
+    )
+    rows = []
+    for (duration, variant), aggregated in results.items():
+        runs = aggregated.runs
+        extras = [dict(r.extras) for r in runs]
+
+        def total(key):
+            return sum(int(e.get(key, 0)) for e in extras)
+
+        rows.append(
+            {
+                "partition_s": duration,
+                "variant": variant,
+                "latency": aggregated.latency.mean,
+                "cost": aggregated.cost.mean,
+                "stale_frac": _mean(
+                    [r.stale_read_fraction for r in runs]
+                ),
+                "incomplete": sum(r.incomplete_queries for r in runs),
+                "cut_drops": total("partition_drops"),
+                "failovers": sum(
+                    1 for e in extras if e.get("failover_promoted", -1) >= 0
+                ),
+                "failover_at": _mean(
+                    [float(e.get("failover_at", "nan")) for e in extras]
+                ),
+                "violations": total("audit_violations"),
+                "repairs": total("audit_repairs"),
+                "reconv_p50": _mean(
+                    [
+                        float(e.get("audit_reconvergence_p50", "nan"))
+                        for e in extras
+                    ]
+                ),
+                "reconv_max": _mean(
+                    [
+                        float(e.get("audit_reconvergence_max", "nan"))
+                        for e in extras
+                    ]
+                ),
+            }
+        )
+
+    checks = _shape_checks(durations, results)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        shape_checks=tuple(checks),
+        notes=(
+            "No paper figure exists for partitions; this probes the "
+            "implicit assumption that repair traffic always gets "
+            "through.  'dup-oracle' is the instant-detection upper "
+            "bound; the crash always lands inside the partition window."
+        ),
+    )
+
+
+def _shape_checks(durations, results):
+    checks = []
+    probe = max(durations)
+
+    cut_drops = sum(
+        int(r.extras.get("partition_drops", 0))
+        for variant in VARIANTS
+        for r in results[(probe, variant)].runs
+    )
+    checks.append(
+        ShapeCheck(
+            claim=(
+                f"the {probe:g}s partition actually cuts traffic "
+                "(cross-component messages dropped-but-charged)"
+            ),
+            passed=cut_drops > 0,
+            detail=f"cut_drops={cut_drops}",
+        )
+    )
+
+    reliable = results[(probe, "dup-reliable")].runs
+    promoted = sum(
+        1
+        for r in reliable
+        if int(r.extras.get("failover_promoted", -1)) >= 0
+    )
+    checks.append(
+        ShapeCheck(
+            claim=(
+                "every dup-reliable run detects the silent authority "
+                "crash and promotes a standby"
+            ),
+            passed=promoted == len(reliable),
+            detail=f"promoted={promoted}/{len(reliable)}",
+        )
+    )
+
+    oracle = results[(probe, "dup-oracle")].runs
+    crash_at = None
+    for r in oracle:
+        at = r.extras.get("failover_at")
+        crash_at = float(at) if at is not None else float("nan")
+        break
+    expected = (
+        results[(probe, "dup-oracle")]
+        .runs[0]
+        .config.authority_crash_at
+    )
+    checks.append(
+        ShapeCheck(
+            claim=(
+                "oracle failover is instantaneous (promotion at the "
+                "crash time itself)"
+            ),
+            passed=crash_at is not None and crash_at == expected,
+            detail=f"failover_at={crash_at} crash_at={expected}",
+        )
+    )
+
+    reconverged = sum(
+        1
+        for r in reliable
+        if math.isfinite(
+            float(r.extras.get("audit_reconvergence_max", "nan"))
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            claim=(
+                "the auditor certifies reconvergence for every "
+                "dup-reliable run (a clean sweep after the partition "
+                "heals and the failover completes)"
+            ),
+            passed=reconverged == len(reliable),
+            detail=f"reconverged={reconverged}/{len(reliable)}",
+        )
+    )
+    return checks

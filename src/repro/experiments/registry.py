@@ -15,6 +15,7 @@ from repro.experiments import (
     figure7_zipf,
     figure8_pareto,
     paper_spotcheck,
+    partition_study,
     resilience_study,
     table2_threshold,
     table3_network_size,
@@ -31,6 +32,7 @@ _REGISTRY: dict[str, Callable] = {
     "churn": churn_study.run,
     "convergence": convergence.run,
     "resilience": resilience_study.run,
+    "partition": partition_study.run,
     "paper-spotcheck": paper_spotcheck.run,
     "ablations": ablations.run,
     "ablation-cutoff": ablations.run_cut_off,
@@ -57,7 +59,12 @@ def run_all(
     """
     results = []
     for name, runner in _REGISTRY.items():
-        if name in ("all", "paper-spotcheck", "resilience") or name.startswith(
+        if name in (
+            "all",
+            "paper-spotcheck",
+            "resilience",
+            "partition",
+        ) or name.startswith(
             "ablation-"
         ):
             continue  # covered elsewhere / deliberately slow

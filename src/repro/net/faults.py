@@ -23,6 +23,14 @@ consistent.  This module supplies those conditions:
   overlay and *blackholes* everything sent to it until some survivor
   develops a suspicion (exhausted retries, an expired lease) and
   triggers the Section III-C repair flows.
+- **Partitions** — each :class:`PartitionWindow` splits the overlay
+  into components for a scheduled interval.  Component membership is a
+  seed-deterministic balanced split drawn from the ``faults-partition``
+  stream when the window opens; every message whose sender and
+  destination land in different components is dropped-but-charged (the
+  packet left the sender, the cut ate it), and the window heals on
+  schedule.  Partitions compose freely with loss, duplication, and
+  silent failures.
 
 All randomness comes from dedicated named streams of the simulation's
 :class:`~repro.sim.rng.RandomStreams`, so fault decisions are
@@ -50,6 +58,48 @@ _NO_DUPLICATION = (Category.QUERY, Category.REPLY)
 
 
 @dataclass(frozen=True)
+class PartitionWindow:
+    """One scheduled network partition: split at ``start``, heal after
+    ``duration``.
+
+    The overlay is divided into ``components`` groups of (nearly) equal
+    size; which node lands where is drawn from the dedicated
+    ``faults-partition`` stream at split time, so the cut is
+    seed-deterministic but uncorrelated with topology or workload
+    randomness.  Nodes joining mid-partition are assigned a component by
+    stable id hash, keeping late joiners deterministic without
+    consuming stream draws.
+    """
+
+    start: float
+    duration: float
+    components: int = 2
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any invalid parameter."""
+        if self.start < 0:
+            raise ConfigError(
+                f"partition start must be >= 0, got {self.start}"
+            )
+        if self.duration <= 0:
+            raise ConfigError(
+                f"partition duration must be positive, got {self.duration}"
+            )
+        if self.components < 2:
+            raise ConfigError(
+                f"a partition needs >= 2 components, got {self.components}"
+            )
+
+    @property
+    def end(self) -> float:
+        """When this window heals."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Declarative description of the faults to inject into one run.
 
@@ -71,6 +121,10 @@ class FaultPlan:
         Crashed nodes blackhole traffic instead of the engine
         oracle-notifying the scheme (see
         :meth:`repro.engine.simulation.Simulation.fail_silently`).
+    partitions:
+        Scheduled :class:`PartitionWindow` s, sorted by start time and
+        non-overlapping; during each window cross-component messages are
+        dropped-but-charged.
     """
 
     loss_rate: float = 0.0
@@ -78,6 +132,7 @@ class FaultPlan:
     duplicate_rate: float = 0.0
     extra_delay_mean: float = 0.0
     silent_failures: bool = False
+    partitions: tuple[PartitionWindow, ...] = ()
 
     def __post_init__(self) -> None:
         self.validate()
@@ -107,6 +162,15 @@ class FaultPlan:
             raise ConfigError(
                 f"extra_delay_mean must be >= 0, got {self.extra_delay_mean}"
             )
+        previous_end = None
+        for window in self.partitions:
+            window.validate()
+            if previous_end is not None and window.start < previous_end:
+                raise ConfigError(
+                    "partition windows must be sorted and non-overlapping; "
+                    f"window at {window.start} starts before {previous_end}"
+                )
+            previous_end = window.end
 
     @property
     def enabled(self) -> bool:
@@ -117,6 +181,7 @@ class FaultPlan:
             or self.duplicate_rate > 0
             or self.extra_delay_mean > 0
             or self.silent_failures
+            or bool(self.partitions)
         )
 
     def loss_probability(self, category: Category) -> float:
@@ -149,11 +214,21 @@ class FaultInjector:
         self._loss_rng = streams.get("faults-loss")
         self._dup_rng = streams.get("faults-duplicate")
         self._delay_rng = streams.get("faults-delay")
+        # The partition stream is only opened when the plan schedules a
+        # window, keeping partition-free runs byte-for-byte identical to
+        # builds without partition support.
+        self._partition_rng = (
+            streams.get("faults-partition") if plan.partitions else None
+        )
+        self._component: dict[NodeId, int] = {}
+        self._components = 0
         self._failed_at: dict[NodeId, float] = {}
         self._detected: set[NodeId] = set()
         self.injected_losses = 0
         self.injected_duplicates = 0
         self.blackholed = 0
+        self.partitions_started = 0
+        self.partition_drops = 0
 
     # -- send-time decisions ------------------------------------------------
     def should_drop(self, message: Message) -> bool:
@@ -187,6 +262,62 @@ class FaultInjector:
     def duplicate_delay(self, latency: "Distribution") -> float:
         """An independent delivery delay for a duplicated transmission."""
         return float(latency.sample(self._delay_rng)) + self.extra_delay()
+
+    # -- partitions ---------------------------------------------------------
+    def begin_partition(self, members, components: int) -> None:
+        """Split ``members`` into ``components`` balanced groups.
+
+        Assignment shuffles the sorted member list with the dedicated
+        partition stream and deals it into contiguous chunks, so every
+        component is non-empty whenever ``len(members) >= components``.
+        """
+        if self._partition_rng is None:
+            raise ConfigError(
+                "begin_partition on a plan with no partition windows"
+            )
+        order = sorted(members)
+        permutation = self._partition_rng.permutation(len(order))
+        self._component = {}
+        chunk = max(1, -(-len(order) // components))
+        for position, index in enumerate(permutation):
+            self._component[order[int(index)]] = min(
+                position // chunk, components - 1
+            )
+        self._components = components
+        self.partitions_started += 1
+
+    def heal_partition(self) -> None:
+        """End the active partition; all components reconnect."""
+        self._components = 0
+        self._component = {}
+
+    @property
+    def partition_active(self) -> bool:
+        """Whether a partition window is currently open."""
+        return self._components > 0
+
+    def component_of(self, node: NodeId) -> int:
+        """The node's component under the active partition (0 if none)."""
+        if self._components == 0:
+            return 0
+        component = self._component.get(node)
+        if component is None:
+            # A node that joined mid-partition: assign by stable id hash
+            # so the choice is deterministic without consuming draws.
+            component = node % self._components
+            self._component[node] = component
+        return component
+
+    def crosses_partition(
+        self, sender: Optional[NodeId], destination: NodeId
+    ) -> bool:
+        """Whether this hop spans the active cut (counts the drop)."""
+        if self._components == 0 or sender is None:
+            return False
+        if self.component_of(sender) != self.component_of(destination):
+            self.partition_drops += 1
+            return True
+        return False
 
     # -- silent-failure bookkeeping -----------------------------------------
     def mark_failed(self, node: NodeId) -> None:

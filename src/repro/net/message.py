@@ -274,3 +274,35 @@ class KeepAliveMessage(Message):
     def __post_init__(self) -> None:
         super().__post_init__()
         self.category = Category.KEEPALIVE
+
+
+@dataclass
+class AuthorityHeartbeat(Message):
+    """Authority liveness beacon sent to each standby between issues.
+
+    Silence (no heartbeat and no replication for ``failover_timeout``)
+    is what a standby interprets as an authority crash.
+    """
+
+    sender: NodeId
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.category = Category.KEEPALIVE
+
+
+@dataclass
+class AuthorityReplicate(Message):
+    """Authority state replicated to a standby after each issue.
+
+    Carries an :class:`repro.index.authority.AuthorityState` snapshot
+    (typed as ``object`` to avoid an import cycle); doubles as a
+    heartbeat for liveness purposes.
+    """
+
+    state: "object"
+    sender: NodeId
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.category = Category.CONTROL

@@ -65,8 +65,10 @@ class TransportEvent:
     reason:
         For drops: why the message was lost — ``"churn"`` (destination
         left the overlay), ``"loss"`` (injected message loss),
-        ``"blackhole"`` (silently failed destination), or ``"path"``
-        (a reply found its remaining path dead).
+        ``"blackhole"`` (silently failed destination), ``"partition"``
+        (sender and destination sit in different components of an
+        active partition), or ``"path"`` (a reply found its remaining
+        path dead).
     """
 
     kind: str
@@ -217,6 +219,18 @@ class Transport:
                 )
             )
         if injector is not None:
+            if injector.partition_active and injector.crosses_partition(
+                sender, destination
+            ):
+                # The hop was charged — the packet left the sender and
+                # died at the cut.
+                self.drop(
+                    message,
+                    destination=destination,
+                    sender=sender,
+                    reason="partition",
+                )
+                return
             if injector.should_drop(message):
                 # The hop was charged — the network carried the message;
                 # the receiver just never saw it.

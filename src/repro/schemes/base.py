@@ -94,6 +94,21 @@ class Scheme(abc.ABC):
         self.sim.tree.splice_out(node)
         self.sim.forget_node(node)
 
+    def on_root_failed(self, new_root: NodeId) -> None:
+        """The authority crashed; ``new_root`` takes over its position.
+
+        ``new_root`` may be a fresh node (paper failure case 5) or an
+        existing tree node promoted by the standby failover machinery.
+        Default: topology-only handling — schemes with per-node
+        propagation state (DUP) override this to run their repair flows.
+        """
+        old_root = self.sim.tree.root
+        if new_root in self.sim.tree:
+            self.sim.tree.promote_to_root(new_root)
+        else:
+            self.sim.tree.replace_root(new_root)
+        self.sim.forget_node(old_root)
+
     def on_peer_suspected(self, reporter: NodeId, suspect: NodeId) -> None:
         """``reporter`` suspects ``suspect`` is dead, but it is alive.
 

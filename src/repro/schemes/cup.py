@@ -147,6 +147,19 @@ class CupScheme(PathCachingScheme):
         self._forget(node)
         super().on_node_failed(node)
 
+    def on_root_failed(self, new_root: NodeId) -> None:
+        """Authority failure: registrations with the old root are lost.
+
+        CUP's soft state needs no explicit repair — children of the new
+        root re-register on their next interested query, and until then
+        the push chain is simply cut off (exactly CUP's behaviour under
+        any broken registration).
+        """
+        old_root = self.sim.tree.root
+        self._registered.pop(old_root, None)
+        self._trackers.pop(old_root, None)
+        super().on_root_failed(new_root)
+
     def _forget(self, node: NodeId) -> None:
         self._registered.pop(node, None)
         self._trackers.pop(node, None)

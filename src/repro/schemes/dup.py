@@ -236,8 +236,22 @@ class DupScheme(PathCachingScheme):
         self.sim.forget_node(node)
 
     def on_root_failed(self, new_root: NodeId) -> None:
-        """Authority failure (paper failure case 5)."""
-        self.maintenance.root_failed(new_root)
+        """Authority failure (paper failure case 5).
+
+        ``new_root`` is either a fresh node taking over the failed
+        root's position (the paper's scenario) or an existing tree node
+        promoted by the standby failover machinery — the maintenance
+        flows differ (a standby's old position must be spliced out and
+        its state handed over first).
+        """
+        old_root = self.sim.tree.root
+        if new_root in self.sim.tree:
+            self.maintenance.promote_root(new_root)
+        else:
+            self.maintenance.root_failed(new_root)
+        self._trackers.pop(old_root, None)
+        if self._leases is not None:
+            self._leases.drop_holder(old_root)
 
     def on_peer_suspected(self, reporter: NodeId, suspect: NodeId) -> None:
         """Local-only cleanup after a suspicion of a node still alive.

@@ -124,6 +124,23 @@ class SearchTree:
         for child in children:
             self._parent[child] = new_root
 
+    def promote_to_root(self, node: NodeId) -> NodeId:
+        """An existing node takes over the failed root's position.
+
+        The standby-failover variant of :meth:`replace_root`: ``node`` is
+        first spliced out of its current position (its children re-parent
+        to its old parent) and then installed as the root, inheriting the
+        old root's children.  Returns the parent that absorbed ``node``'s
+        children (the old root itself when ``node`` was its direct child,
+        in which case those children transfer to the promoted node).
+        """
+        self._require(node)
+        if node == self._root:
+            raise TopologyError(f"node {node} is already the root")
+        absorber = self.splice_out(node)
+        self.replace_root(node)
+        return absorber
+
     def rename(self, old: NodeId, new: NodeId) -> None:
         """Give node ``old`` the id ``new``, keeping its tree position.
 

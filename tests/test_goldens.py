@@ -84,3 +84,9 @@ class TestGoldens:
             scale="smoke", replications=1, seed=1
         )
         check_golden(result, "resilience_smoke", update_goldens)
+
+    def test_partition_smoke_matches_golden(self, update_goldens):
+        result = get_experiment("partition")(
+            scale="smoke", replications=1, seed=1
+        )
+        check_golden(result, "partition_smoke", update_goldens)

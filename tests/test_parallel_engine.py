@@ -146,6 +146,32 @@ class TestSerialParallelEquivalence:
         ]
 
 
+class TestChaosEquivalence:
+    """Chaos runs must parallelize like calm ones: a scenario's faults,
+    failover, and audit sweeps are all driven by the trial's derived
+    seed, so workers=N stays bit-identical to serial."""
+
+    def run_chaos(self, workers):
+        from repro.engine.chaos import get_scenario
+
+        config = get_scenario("blackout").apply(
+            SimulationConfig(scheme="dup", seed=3, **SMOKE)
+        )
+        return run_replications(config, replications=2, workers=workers)
+
+    def test_blackout_bit_identical_across_workers(self):
+        serial = self.run_chaos(1)
+        pooled = self.run_chaos(2)
+        assert [fingerprint(r) for r in serial.runs] == [
+            fingerprint(r) for r in pooled.runs
+        ]
+        # The scenario actually fired in both lanes.
+        for result in serial.runs:
+            assert result.extras["partitions_started"] >= 1
+            assert result.extras["failover_promoted"] >= 0
+            assert result.extras["audit_sweeps"] > 0
+
+
 class TestFigure4Equivalence:
     """The ISSUE's regression gate: figure4 smoke, workers 1 vs 4."""
 

@@ -1,0 +1,195 @@
+"""Tests of partition windows: plan validation, injector, transport."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.engine import Simulation, SimulationConfig
+from repro.errors import ConfigError
+from repro.net.faults import FaultInjector, FaultPlan, PartitionWindow
+from repro.net.message import QueryMessage
+from repro.sim.rng import RandomStreams
+
+WINDOW = PartitionWindow(start=100.0, duration=50.0, components=2)
+
+
+def fingerprint(result, with_config=True) -> str:
+    record = dataclasses.asdict(result)
+    record.pop("wall_seconds")
+    if not with_config:
+        # For cross-config bit-identity claims: the configs differ by
+        # construction, the *behavior* must not.
+        record.pop("config")
+    return json.dumps(record, sort_keys=True, default=repr)
+
+
+class TestPartitionWindow:
+    def test_end_is_start_plus_duration(self):
+        assert WINDOW.end == 150.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(start=-1.0, duration=10.0),
+            dict(start=0.0, duration=0.0),
+            dict(start=0.0, duration=-5.0),
+            dict(start=0.0, duration=10.0, components=1),
+            dict(start=0.0, duration=10.0, components=0),
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            PartitionWindow(**kwargs)
+
+    def test_plan_with_partitions_is_enabled(self):
+        assert FaultPlan(partitions=(WINDOW,)).enabled
+
+    def test_plan_rejects_overlapping_windows(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(
+                partitions=(
+                    WINDOW,
+                    PartitionWindow(start=120.0, duration=10.0),
+                )
+            )
+
+    def test_plan_rejects_unsorted_windows(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(
+                partitions=(
+                    PartitionWindow(start=500.0, duration=10.0),
+                    WINDOW,
+                )
+            )
+
+
+class TestInjectorPartitions:
+    def make(self, seed=1):
+        return FaultInjector(
+            FaultPlan(partitions=(WINDOW,)),
+            RandomStreams(seed),
+            clock=lambda: 0.0,
+        )
+
+    def test_begin_requires_scheduled_windows(self):
+        injector = FaultInjector(
+            FaultPlan(loss_rate=0.1), RandomStreams(1), clock=lambda: 0.0
+        )
+        with pytest.raises(ConfigError):
+            injector.begin_partition(range(10), 2)
+
+    def test_components_are_balanced_and_exhaustive(self):
+        injector = self.make()
+        members = list(range(20))
+        injector.begin_partition(members, components=3)
+        assert injector.partition_active
+        groups = {}
+        for node in members:
+            groups.setdefault(injector.component_of(node), []).append(node)
+        assert set(groups) == {0, 1, 2}
+        sizes = sorted(len(g) for g in groups.values())
+        assert sizes[-1] - sizes[0] <= 1
+
+    def test_assignment_is_seed_deterministic(self):
+        one, two = self.make(seed=9), self.make(seed=9)
+        other = self.make(seed=10)
+        members = list(range(16))
+        for injector in (one, two, other):
+            injector.begin_partition(members, components=2)
+        assert [one.component_of(n) for n in members] == [
+            two.component_of(n) for n in members
+        ]
+        assert [one.component_of(n) for n in members] != [
+            other.component_of(n) for n in members
+        ], "different seeds should cut differently"
+
+    def test_cross_component_hops_drop_and_count(self):
+        injector = self.make()
+        injector.begin_partition(range(8), components=2)
+        crossings = 0
+        for sender in range(8):
+            for destination in range(8):
+                if injector.crosses_partition(sender, destination):
+                    crossings += 1
+        assert crossings > 0
+        assert injector.partition_drops == crossings
+        # Same-component traffic flows, including self-sends.
+        assert not injector.crosses_partition(3, 3)
+
+    def test_sourceless_sends_never_cross(self):
+        injector = self.make()
+        injector.begin_partition(range(8), components=2)
+        assert not injector.crosses_partition(None, 5)
+
+    def test_heal_reconnects_everyone(self):
+        injector = self.make()
+        injector.begin_partition(range(8), components=2)
+        injector.heal_partition()
+        assert not injector.partition_active
+        assert not any(
+            injector.crosses_partition(s, d)
+            for s in range(8)
+            for d in range(8)
+        )
+        drops_after_heal = injector.partition_drops
+        assert drops_after_heal == 0
+
+    def test_late_joiner_assigned_without_stream_draws(self):
+        injector = self.make()
+        injector.begin_partition(range(8), components=3)
+        # Node 100 was not a member at split time: component by id hash.
+        assert injector.component_of(100) == 100 % 3
+        assert injector.component_of(100) == injector.component_of(100)
+
+
+class TestSimulatedPartitions:
+    CONFIG = dict(
+        scheme="dup",
+        num_nodes=32,
+        query_rate=3.0,
+        ttl=600.0,
+        push_lead=60.0,
+        duration=2400.0,
+        warmup=300.0,
+        threshold_c=2,
+        seed=3,
+    )
+
+    def test_partition_cuts_and_heals(self):
+        config = SimulationConfig(
+            faults=FaultPlan(
+                partitions=(
+                    PartitionWindow(start=600.0, duration=300.0),
+                )
+            ),
+            **self.CONFIG,
+        )
+        result = Simulation(config).run()
+        assert result.extras["partitions_started"] == 1
+        assert result.extras["partition_drops"] > 0
+        assert result.dropped_messages >= result.extras["partition_drops"]
+
+    def test_empty_partition_schedule_is_bit_identical(self):
+        # The partition stream is only opened when windows are
+        # scheduled, so a plan without windows must not perturb a run.
+        plain = Simulation(SimulationConfig(**self.CONFIG)).run()
+        with_plan = Simulation(
+            SimulationConfig(faults=FaultPlan(), **self.CONFIG)
+        ).run()
+        assert fingerprint(plain, with_config=False) == fingerprint(
+            with_plan, with_config=False
+        )
+
+    def test_partitioned_run_is_replayable(self):
+        config = SimulationConfig(
+            faults=FaultPlan(
+                partitions=(
+                    PartitionWindow(start=600.0, duration=120.0),
+                )
+            ),
+            **self.CONFIG,
+        )
+        first = Simulation(config).run()
+        second = Simulation(config).run()
+        assert fingerprint(first) == fingerprint(second)
