@@ -1,0 +1,24 @@
+# Convenience targets for the DUP reproduction.
+#
+# The test/bench targets mirror what CI runs (.github/workflows/ci.yml);
+# PYTHONPATH=src keeps everything import-from-source with no install step.
+
+PYTHON ?= python
+PY = PYTHONPATH=src $(PYTHON)
+
+.PHONY: test bench perf-smoke profile clean
+
+test:
+	$(PY) -m pytest -q
+
+bench:
+	$(PY) -m pytest -q benchmarks/
+
+perf-smoke:
+	$(PY) scripts/perf_smoke.py
+
+profile:
+	$(PY) -m repro.cli profile figure4 --top 20
+
+clean:
+	sh scripts/clean.sh

@@ -19,6 +19,8 @@ from __future__ import annotations
 import json
 import math
 import pathlib
+import platform
+import subprocess
 import time
 
 from repro.engine.parallel import resolve_workers
@@ -31,6 +33,31 @@ def _clean(value):
     if isinstance(value, float) and not math.isfinite(value):
         return None
     return value
+
+
+def _git_sha():
+    """Short commit hash of the working tree, or None outside a checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def _load_history(path):
+    """The ``history`` entries of a previous record at ``path``, if any."""
+    try:
+        previous = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    history = previous.get("history", [])
+    return history if isinstance(history, list) else []
 
 
 def run_experiment(benchmark, runner, **kwargs):
@@ -49,17 +76,24 @@ def run_experiment(benchmark, runner, **kwargs):
         print(text)
         path = RESULTS_DIR / f"{result.experiment_id}.txt"
         path.write_text(text + "\n", encoding="utf-8")
+        bench_path = RESULTS_DIR / f"BENCH_{result.experiment_id}.json"
         record = {
             "experiment_id": result.experiment_id,
             "wall_seconds": round(wall, 3),
             "workers": workers,
+            "python_version": platform.python_version(),
+            "git_sha": _git_sha(),
             "all_shapes_hold": result.all_shapes_hold,
             "rows": [
                 {key: _clean(value) for key, value in row.items()}
                 for row in result.rows
             ],
         }
-        bench_path = RESULTS_DIR / f"BENCH_{result.experiment_id}.json"
+        # Hand-curated baseline entries (see docs/performance.md) survive
+        # re-runs so before/after comparisons stay in the file.
+        history = _load_history(bench_path)
+        if history:
+            record["history"] = history
         bench_path.write_text(
             json.dumps(record, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",

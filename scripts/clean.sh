@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Remove Python build/test litter from the working tree.
+#
+# Covers the caches the toolchain scatters around (__pycache__, .pyc,
+# pytest/coverage state, egg-info) without touching benchmark results,
+# goldens, or anything else that is checked in.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+find src tests benchmarks examples scripts -name __pycache__ -type d \
+    -prune -exec rm -rf {} + 2>/dev/null || true
+find src tests benchmarks examples scripts -name '*.pyc' -delete \
+    2>/dev/null || true
+rm -rf .pytest_cache .coverage src/*.egg-info ./*.egg-info
+echo "clean: removed __pycache__/, *.pyc, .pytest_cache, coverage data"

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Perf-regression smoke gate: fail when the hot path gets >2x slower.
+
+Times the figure4 arrival-rate sweep (quick scale, serial, one
+replication — the workload whose wall-clock history lives in
+``benchmarks/results/BENCH_figure4.json``) and compares against the
+committed baseline entry.  The 2x budget absorbs hardware differences
+between the machine that recorded the baseline and the one running the
+gate; only a genuine hot-path regression blows through it.
+
+On failure the run is repeated under :mod:`cProfile` and the hottest
+functions are written to ``perf_smoke_profile.txt`` so the CI artifact
+shows *where* the time went, not just that it went.
+
+Environment overrides:
+
+- ``PERF_SMOKE_BASELINE`` — baseline wall seconds (default: the newest
+  ``history`` entry of BENCH_figure4.json with a recorded wall).
+- ``PERF_SMOKE_BUDGET`` — allowed slowdown factor (default: 2.0).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.experiments import figure4_arrival_rate  # noqa: E402
+
+REPO = pathlib.Path(__file__).parent.parent
+BENCH_RECORD = REPO / "benchmarks" / "results" / "BENCH_figure4.json"
+PROFILE_OUT = REPO / "perf_smoke_profile.txt"
+RATES = (0.1, 1.0, 3.0, 10.0, 30.0)
+
+
+def _run() -> float:
+    start = time.perf_counter()
+    result = figure4_arrival_rate.run(
+        scale="quick", replications=1, rates=RATES, workers=1
+    )
+    wall = time.perf_counter() - start
+    if not result.all_shapes_hold:
+        print("perf-smoke: paper shape checks FAILED", file=sys.stderr)
+        raise SystemExit(2)
+    return wall
+
+
+def _baseline() -> float:
+    override = os.environ.get("PERF_SMOKE_BASELINE")
+    if override:
+        return float(override)
+    record = json.loads(BENCH_RECORD.read_text(encoding="utf-8"))
+    walls = [
+        entry["wall_seconds"]
+        for entry in record.get("history", [])
+        if isinstance(entry.get("wall_seconds"), (int, float))
+    ]
+    if not walls:
+        print(
+            f"perf-smoke: no usable history in {BENCH_RECORD}; "
+            "set PERF_SMOKE_BASELINE",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return float(walls[-1])
+
+
+def _write_profile() -> None:
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    figure4_arrival_rate.run(
+        scale="quick", replications=1, rates=RATES, workers=1
+    )
+    profiler.disable()
+    with PROFILE_OUT.open("w", encoding="utf-8") as stream:
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(40)
+    print(f"perf-smoke: profile written to {PROFILE_OUT}", file=sys.stderr)
+
+
+def main() -> int:
+    budget = float(os.environ.get("PERF_SMOKE_BUDGET", "2.0"))
+    baseline = _baseline()
+    wall = _run()
+    limit = baseline * budget
+    verdict = "OK" if wall <= limit else "REGRESSION"
+    print(
+        f"perf-smoke: wall {wall:.2f}s, baseline {baseline:.2f}s, "
+        f"budget {budget:g}x (limit {limit:.2f}s) -> {verdict}"
+    )
+    if wall <= limit:
+        return 0
+    _write_profile()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ Subcommands:
 - ``repro-dup chaos`` — replay a named chaos scenario (partitions,
   authority crash, failover, consistency auditor) against a scheme;
   ``repro-dup chaos --list`` shows the stock scenarios.
+- ``repro-dup profile`` — run an experiment under :mod:`cProfile`
+  (serial, ``workers=1``) and print the hottest functions; the raw
+  profile can be dumped for ``snakeviz``/``pstats`` with ``--out``.
 
 Examples
 --------
@@ -23,6 +26,8 @@ Examples
 
     repro-dup list
     repro-dup run figure4 --scale bench --replications 2
+    repro-dup profile figure4 --top 20
+    repro-dup profile table2 --scale quick --sort tottime --out prof.bin
     repro-dup run table3 --scale paper          # hours, full fidelity
     repro-dup run partition --scale smoke --replications 1
     repro-dup simulate --scheme dup --nodes 2048 --rate 10 --duration 36000
@@ -224,6 +229,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos_parser.add_argument("--seed", type=int, default=1)
     _add_fault_arguments(chaos_parser)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="profile an experiment run under cProfile"
+    )
+    profile_parser.add_argument(
+        "experiment",
+        help=f"one of: {', '.join(list_experiments())}",
+    )
+    profile_parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=("smoke", "quick", "bench", "paper"),
+        help="parameter scale (default: quick)",
+    )
+    profile_parser.add_argument(
+        "--replications", type=int, default=1, help="seeds per data point"
+    )
+    profile_parser.add_argument(
+        "--seed", type=int, default=1, help="root seed"
+    )
+    profile_parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="number of functions to print (default: 20)",
+    )
+    profile_parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime", "calls"),
+        help="pstats sort key (default: cumulative)",
+    )
+    profile_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also dump the raw profile (pstats format) to PATH",
+    )
     return parser
 
 
@@ -583,6 +626,40 @@ def _command_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    runner = get_experiment(args.experiment)
+    # Profiling fans out to nothing: the serial path is the one whose
+    # per-event costs the profile is meant to expose, and cProfile only
+    # sees the current process anyway.
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        outcome = runner(
+            scale=args.scale,
+            replications=args.replications,
+            seed=args.seed,
+            workers=1,
+        )
+    finally:
+        profiler.disable()
+    results = outcome if isinstance(outcome, list) else [outcome]
+    for result in results:
+        print(
+            f"{result.experiment_id}: {len(result.rows)} rows, "
+            f"shapes hold: {result.all_shapes_hold}"
+        )
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"wrote raw profile data to {args.out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-dup`` console script."""
     args = _build_parser().parse_args(argv)
@@ -598,6 +675,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_trace(args)
     if args.command == "chaos":
         return _command_chaos(args)
+    if args.command == "profile":
+        return _command_profile(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

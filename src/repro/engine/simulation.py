@@ -86,6 +86,9 @@ class Simulation:
             warmup=config.warmup,
             keep_samples=config.keep_latency_samples,
         )
+        # Recorder handle bound once: every completed query goes through
+        # it, so skip the attribute chase per call.
+        self._latency_record = self.latency.record
         # -- fault layer: only constructed when a plan asks for it, so a
         # fault-free run is bit-identical to one without the layer.
         self.injector: Optional[FaultInjector] = None
@@ -113,6 +116,7 @@ class Simulation:
                 functioning=self.functioning,
             )
         self._caches: dict[NodeId, IndexCache] = {}
+        self._past_warmup = config.warmup <= 0.0
         self._incomplete = 0
         self._reads = 0
         self._stale_reads = 0
@@ -281,9 +285,10 @@ class Simulation:
 
     def parent(self, node: NodeId) -> Optional[NodeId]:
         """Parent on the index search tree (``None`` at the root)."""
-        if node not in self.tree:
-            return None
-        return self.tree.parent(node)
+        # Direct read of the tree's parent map: one dict get instead of a
+        # membership check plus a guarded lookup.  Semantics are the
+        # same — None for the root and for nodes outside the tree.
+        return self.tree._parent.get(node)
 
     def alive(self, node: NodeId) -> bool:
         """Whether ``node`` is currently part of the overlay.
@@ -319,11 +324,18 @@ class Simulation:
         The root serves its authoritative (never expiring) copy; everyone
         else consults the local TTL cache.
         """
-        if node == self.tree.root:
+        if node == self.tree._root:
             if self.authority is None:
                 return None
             return self.authority.current
-        return self.cache(node).get(self.key, self.env.now)
+        # Inlined self.cache(node): this is the hottest facade call, and
+        # the lazy creation must stay so per-node lookup stats are
+        # identical whichever path created the cache.
+        cache = self._caches.get(node)
+        if cache is None:
+            cache = IndexCache()
+            self._caches[node] = cache
+        return cache.get(self.key, self.env._now)
 
     def record_latency(
         self,
@@ -335,7 +347,7 @@ class Simulation:
 
         ``trace_id`` closes the query's trace when tracing is enabled.
         """
-        self.latency.record(hops, issued_at)
+        self._latency_record(hops, issued_at)
         if self.tracer is not None and trace_id is not None:
             self.tracer.complete(trace_id, hops)
 
@@ -351,8 +363,12 @@ class Simulation:
         push trade-off is about.  Warm-up reads are ignored, matching
         the other recorders.
         """
-        if self.env.now < self.config.warmup:
-            return
+        if not self._past_warmup:
+            # Sim time only moves forward during a run, so once the
+            # warm-up has passed the clock never needs consulting again.
+            if self.env._now < self.config.warmup:
+                return
+            self._past_warmup = True
         self._reads += 1
         if (
             self.authority is not None
@@ -797,15 +813,22 @@ class Simulation:
                 config.root_queries or node != self.tree.root
             )
 
-        while True:
-            yield self.env.timeout(arrivals.next_gap())
-            if guarded:
+        # Localised bindings: this loop issues every query in the run.
+        timeout = self.env.timeout
+        next_gap = arrivals.next_gap
+        on_local_query = self.scheme.on_local_query
+        if guarded:
+            while True:
+                yield timeout(next_gap())
                 node = self.selector.sample_alive(draws, eligible_origin)
                 if node is None:
                     continue
-            else:
-                node = self.selector.sample(draws)
-            self.scheme.on_local_query(node)
+                on_local_query(node)
+        else:
+            sample = self.selector.sample
+            while True:
+                yield timeout(next_gap())
+                on_local_query(sample(draws))
 
     def _trace_loop(self):
         for event in self._trace:

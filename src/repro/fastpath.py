@@ -1,0 +1,44 @@
+"""Runtime toggle for the simulator's optimised hot paths.
+
+The event kernel carries a handful of fast paths (an inlined run loop and
+a :class:`~repro.sim.core.Timeout` free-list) that are bit-identical to
+the straightforward implementations but measurably faster.  They are
+enabled by default and can be disabled for A/B verification with the
+``REPRO_FAST`` environment variable (``REPRO_FAST=0``) or, in-process,
+with :func:`set_enabled`.
+
+Determinism contract: every simulation result — goldens, serial/parallel
+fingerprints, metric counters — must be identical under both settings.
+``tests/test_perf_fastpath.py`` enforces this by running the same
+experiment under both flags and comparing fingerprints.
+
+The flag is captured by :class:`~repro.sim.core.Environment` at
+construction, so flipping it never affects a simulation that is already
+running.
+"""
+
+from __future__ import annotations
+
+import os
+
+_FALSE_VALUES = ("0", "false", "no", "off")
+
+#: Whether new environments use the optimised kernel paths.  Read once
+#: per Environment construction; seed it from ``REPRO_FAST`` (default on).
+ENABLED: bool = (
+    os.environ.get("REPRO_FAST", "1").strip().lower() not in _FALSE_VALUES
+)
+
+
+def set_enabled(value: bool) -> bool:
+    """Set the fast-path flag in-process; returns the previous value.
+
+    Only environments constructed *after* the call observe the change —
+    the flag is captured at :class:`~repro.sim.core.Environment`
+    construction time.  Intended for the determinism regression tests;
+    production configuration goes through ``REPRO_FAST``.
+    """
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(value)
+    return previous

@@ -45,7 +45,7 @@ class CacheStats:
         return self.hits / self.lookups
 
 
-@dataclass
+@dataclass(slots=True)
 class CachedCopy:
     """One cached copy: a version plus this cache's own TTL timer."""
 
@@ -76,16 +76,20 @@ class IndexCache:
 
         Expired copies are evicted as a side effect.
         """
-        self.stats.lookups += 1
+        stats = self.stats
+        stats.lookups += 1
         copy = self._entries.get(key)
         if copy is None:
             return None
-        if not copy.is_valid(now):
+        # Inlined copy.is_valid(now): this is the hit-path check of every
+        # query in the system.
+        version = copy.version
+        if now >= copy.stored_at + version.ttl:
             del self._entries[key]
-            self.stats.evictions += 1
+            stats.evictions += 1
             return None
-        self.stats.hits += 1
-        return copy.version
+        stats.hits += 1
+        return version
 
     def peek(self, key: int) -> Optional[CachedCopy]:
         """Return the stored copy without validity check or stats."""

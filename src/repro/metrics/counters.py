@@ -41,14 +41,20 @@ class CostLedger:
         self._count_keepalive = count_keepalive
         self._hops: dict[Category, int] = {cat: 0 for cat in Category}
         self._warmup_hops: dict[Category, int] = {cat: 0 for cat in Category}
+        # Latched once the clock passes the warm-up: simulation time only
+        # moves forward, so later charges skip the clock call entirely.
+        self._warm = self._warmup <= 0.0
 
     def charge(self, category: Category, hops: int = 1) -> None:
         """Add ``hops`` to ``category`` (warm-up hops kept separate)."""
         if hops < 0:
             raise ValueError(f"hops must be non-negative, got {hops}")
-        if self._clock() < self._warmup:
+        if self._warm:
+            self._hops[category] += hops
+        elif self._clock() < self._warmup:
             self._warmup_hops[category] += hops
         else:
+            self._warm = True
             self._hops[category] += hops
 
     def hops(self, category: Category) -> int:

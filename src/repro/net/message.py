@@ -47,21 +47,21 @@ class Category(enum.Enum):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Subscribe:
     """``subscribe(N_i)``: node ``subject`` wants future index updates."""
 
     subject: NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Unsubscribe:
     """``unsubscribe(N_i)``: node ``subject`` no longer wants updates."""
 
     subject: NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Substitute:
     """``substitute(N_i, N_j)``: replace ``old`` with ``new`` upstream."""
 
@@ -69,7 +69,7 @@ class Substitute:
     new: NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RefreshSubscribe:
     """Failure repair: re-establish ``subject``'s virtual path.
 
@@ -83,7 +83,7 @@ class RefreshSubscribe:
     subject: NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeaseRefresh:
     """Soft-state lease renewal: keep ``subject``'s entry alive upstream.
 
@@ -99,14 +99,14 @@ class LeaseRefresh:
     subject: NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CupRegister:
     """CUP: ``child`` registers with the receiving node for pushes."""
 
     child: NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CupUnregister:
     """CUP: ``child`` cancels its registration with the receiving node."""
 
@@ -121,7 +121,7 @@ ControlPayload = object  # any of the dataclasses above
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """Base class for everything the transport can carry.
 
@@ -137,6 +137,8 @@ class Message:
     #: Delivery id set by the reliable channel when this message is sent
     #: with ack/retry semantics (None for ordinary fire-and-forget hops).
     reliable_id: Optional[int] = field(default=None, init=False)
+    #: Global construction order (``slots=True`` needs it declared).
+    sequence: int = field(default=-1, init=False)
 
     def __post_init__(self) -> None:
         self.sequence = next(_sequence)
@@ -146,15 +148,15 @@ class Message:
 
         Returns ``self`` so construction and propagation can be chained:
         ``transport.send(dst, PushMessage(...).inherit_trace(query))``.
+        Mutates in place — no new message object is created, and a
+        self-inheritance is a no-op.  ``source`` may be a message (its
+        ``trace_id`` is adopted), a raw id, or ``None``.
         """
-        if isinstance(source, Message):
-            self.trace_id = source.trace_id
-        else:
-            self.trace_id = source
+        self.trace_id = getattr(source, "trace_id", source)
         return self
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryMessage(Message):
     """An index request travelling up the search tree.
 
@@ -175,7 +177,7 @@ class QueryMessage(Message):
     control: list[ControlPayload] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        Message.__post_init__(self)
         self.category = Category.QUERY
         if not self.path:
             self.path = [self.origin]
@@ -186,7 +188,7 @@ class QueryMessage(Message):
         return len(self.path) - 1
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplyMessage(Message):
     """An index reply retracing the query path back to the origin.
 
@@ -201,7 +203,7 @@ class ReplyMessage(Message):
     issued_at: float = 0.0
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        Message.__post_init__(self)
         self.category = Category.REPLY
 
     @property
@@ -216,7 +218,7 @@ class ReplyMessage(Message):
         return self.path[self.position - 1]
 
 
-@dataclass
+@dataclass(slots=True)
 class PushMessage(Message):
     """A proactively pushed index update (CUP hop-by-hop, DUP direct)."""
 
@@ -224,11 +226,11 @@ class PushMessage(Message):
     sender: NodeId
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        Message.__post_init__(self)
         self.category = Category.PUSH
 
 
-@dataclass
+@dataclass(slots=True)
 class ControlMessage(Message):
     """Standalone control payloads travelling one hop up the tree.
 
@@ -243,11 +245,11 @@ class ControlMessage(Message):
     sender: NodeId
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        Message.__post_init__(self)
         self.category = Category.CONTROL
 
 
-@dataclass
+@dataclass(slots=True)
 class AckMessage(Message):
     """Delivery acknowledgement for the reliable channel.
 
@@ -261,22 +263,22 @@ class AckMessage(Message):
     sender: NodeId
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        Message.__post_init__(self)
         self.category = Category.CONTROL
 
 
-@dataclass
+@dataclass(slots=True)
 class KeepAliveMessage(Message):
     """Host liveness beacon sent to the authority node."""
 
     sender: NodeId
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        Message.__post_init__(self)
         self.category = Category.KEEPALIVE
 
 
-@dataclass
+@dataclass(slots=True)
 class AuthorityHeartbeat(Message):
     """Authority liveness beacon sent to each standby between issues.
 
@@ -287,11 +289,11 @@ class AuthorityHeartbeat(Message):
     sender: NodeId
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        Message.__post_init__(self)
         self.category = Category.KEEPALIVE
 
 
-@dataclass
+@dataclass(slots=True)
 class AuthorityReplicate(Message):
     """Authority state replicated to a standby after each issue.
 
@@ -304,5 +306,5 @@ class AuthorityReplicate(Message):
     sender: NodeId
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        Message.__post_init__(self)
         self.category = Category.CONTROL

@@ -205,6 +205,18 @@ class Transport:
         if not free:
             self._ledger.charge(message.category, hops)
         injector = self._injector
+        if injector is None and not self._observers:
+            # Fast branch: no injector and no observers attached — the
+            # hop is charge + latency draw + delayed delivery, nothing
+            # else.  The RNG draw happens at the same point as in the
+            # instrumented path, so streams stay bit-identical.
+            self._env.call_later(
+                self._latency.sample(self._rng),
+                self._deliver,
+                destination,
+                message,
+            )
+            return
         if self._observers or injector is not None:
             if sender is None:
                 sender = _derive_sender(message)

@@ -166,7 +166,7 @@ class PathCachingScheme(Scheme):
     # ---------------------------------------------------------------- queries
     def on_local_query(self, node: NodeId) -> None:
         sim = self.sim
-        issued_at = sim.env.now
+        issued_at = sim.env._now
         trace_id = sim.trace_begin(node)
         self._carrier_trace = trace_id
         payloads = self._on_query_arrival(node, packet=None)
@@ -275,7 +275,8 @@ class PathCachingScheme(Scheme):
 
     def _store_reply(self, node: NodeId, version: IndexVersion) -> None:
         """Path caching: cache the reply at every hop (PCX behaviour)."""
-        self.sim.cache(node).put(version, self.sim.env.now)
+        sim = self.sim
+        sim.cache(node).put(version, sim.env._now)
 
     def _forward_reply(self, reply: ReplyMessage) -> None:
         sim = self.sim

@@ -87,9 +87,15 @@ class CupScheme(PathCachingScheme):
     def _on_query_arrival(
         self, node: NodeId, packet: Optional[QueryMessage]
     ) -> list[object]:
-        self.tracker(node).record(self.sim.env.now)
-        if self.sim.is_root(node):
+        sim = self.sim
+        tracker = self._trackers.get(node)
+        if tracker is None:
+            tracker = self.tracker(node)
+        tracker.record(sim.env._now)
+        if sim.is_root(node):
             return []
+        # ``wants_updates`` must run unconditionally: ``live_registrations``
+        # prunes decayed child entries as a side effect.
         if self.wants_updates(node):
             # Soft state: the interest bit rides this very packet (or the
             # explicit fallback when the query was a local hit) and

@@ -95,20 +95,30 @@ class DupScheme(PathCachingScheme):
     def _on_query_arrival(
         self, node: NodeId, packet: Optional[QueryMessage]
     ) -> list[object]:
-        now = self.sim.env.now
-        self.tracker(node).record(now)
-        if self.sim.is_root(node):
+        sim = self.sim
+        now = sim.env._now
+        tracker = self._trackers.get(node)
+        if tracker is None:
+            tracker = self.tracker(node)
+        tracker.record(now)
+        if sim.is_root(node):
             return []
-        if not self._should_subscribe(node):
+        # The interest/subscription checks must run before the local-query
+        # early return below: ``is_subscribed`` lazily creates the node's
+        # subscriber-list entry, and downstream iteration order (e.g. the
+        # lease loops walking ``nodes_with_state``) keys off when that
+        # entry first appeared.
+        protocol = self.protocol
+        if not tracker.is_interested(now) or protocol.is_subscribed(node):
             return []
-        if packet is None and not self.sim.config.eager_subscribe:
+        if packet is None and not sim.config.eager_subscribe:
             # Local query with no packet yet: if it misses, the
             # subscription rides the outgoing request (paper: "piggybacks
             # subscribe(N6) by setting the interest bit in the request
             # packet"); if it hits, defer to the next miss rather than
             # paying an explicit hop-by-hop walk.
             return []
-        return self.protocol.ensure_subscribed(node).upstream
+        return protocol.ensure_subscribed(node).upstream
 
     def _on_local_miss(self, node: NodeId) -> list[object]:
         if self.sim.is_root(node) or not self._should_subscribe(node):

@@ -9,13 +9,35 @@ Processes are Python generators.  A process yields an :class:`Event`; when
 that event triggers, the kernel resumes the generator, sending the event's
 value in (or throwing the event's exception).  A :class:`Process` is itself
 an event, so processes can wait on each other.
+
+Hot-path notes
+--------------
+The dominant cycle in every experiment is "schedule timeout -> pop ->
+resume one generator".  The kernel therefore carries a few fast paths,
+all bit-identical to the straightforward implementations (event order,
+clock values, and RNG draw order are unchanged):
+
+- ``heappush``/``heappop`` are imported as locals instead of attribute
+  lookups on the :mod:`heapq` module;
+- :class:`Timeout` construction is flattened (no ``super().__init__``
+  chain, the heap push is inlined);
+- :meth:`Environment.call_later` callbacks are :class:`_Invoke` records
+  instead of closure objects;
+- when :mod:`repro.fastpath` is enabled (the default), :meth:`Environment.run`
+  uses an inlined event loop and recycles value-less :class:`Timeout`
+  events through a small free list.  Only events whose sole callback is
+  kernel-owned (a :class:`Process` resume or an :class:`_Invoke`) are
+  recycled, so any event a caller might still hold a reference to —
+  condition members, interrupted targets, timeouts carrying values —
+  is never reused.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappush, heappop
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro import fastpath
 from repro.errors import ProcessError, SchedulingError, SimulationError
 
 #: Priority used for ordinary events.
@@ -24,6 +46,9 @@ NORMAL = 1
 URGENT = 0
 
 _PENDING = object()
+
+#: Upper bound on the Timeout free list (per environment).
+_POOL_CAP = 1024
 
 
 class Event:
@@ -113,14 +138,37 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SchedulingError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = float(delay)
+        # Flattened Event.__init__ + _schedule: this constructor runs a
+        # quarter of a million times per quick-scale experiment.
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env._schedule(self, NORMAL, self.delay)
+        self._scheduled = True
+        self._defused = False
+        self.delay = delay = float(delay)
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
+        env._eid += 1
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
+
+
+class _Invoke:
+    """Kernel-owned ``call_later`` callback: calls ``fn(*args)``.
+
+    A tagged record instead of a closure so the run loop can recognise
+    fire-and-forget deliveries and recycle their carrier timeouts.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable, args: tuple) -> None:
+        self.fn = fn
+        self.args = args
+
+    def __call__(self, _event: Event) -> None:
+        self.fn(*self.args)
 
 
 class Initialize(Event):
@@ -211,17 +259,18 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        if not self.is_alive:  # pragma: no cover - defensive
+        if self._value is not _PENDING:  # pragma: no cover - defensive
             return
         env = self.env
         env._active_process = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_target = self._generator.send(event._value)
+                    next_target = generator.send(event._value)
                 else:
                     event._defused = True
-                    next_target = self._generator.throw(event._value)
+                    next_target = generator.throw(event._value)
             except StopIteration as stop:
                 self._finish(True, stop.value)
                 break
@@ -229,17 +278,15 @@ class Process(Event):
                 self._finish(False, error)
                 break
 
-            if not isinstance(next_target, Event):
-                self._finish(
-                    False,
-                    ProcessError(
-                        f"process {self.name!r} yielded non-event "
-                        f"{next_target!r}"
-                    ),
-                )
-                self._generator.close()
-                break
-            if next_target.env is not env:
+            if isinstance(next_target, Event):
+                if next_target.env is env:
+                    if next_target.callbacks is None:
+                        # Already processed: resume immediately with its value.
+                        event = next_target
+                        continue
+                    next_target.callbacks.append(self._resume)
+                    self._target = next_target
+                    break
                 self._finish(
                     False,
                     ProcessError(
@@ -247,14 +294,16 @@ class Process(Event):
                         "environment"
                     ),
                 )
-                self._generator.close()
+                generator.close()
                 break
-            if next_target.processed:
-                # Already processed: resume immediately with its value.
-                event = next_target
-                continue
-            next_target.callbacks.append(self._resume)
-            self._target = next_target
+            self._finish(
+                False,
+                ProcessError(
+                    f"process {self.name!r} yielded non-event "
+                    f"{next_target!r}"
+                ),
+            )
+            generator.close()
             break
         env._active_process = None
 
@@ -266,6 +315,11 @@ class Process(Event):
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+#: The unbound resume used to recognise kernel-owned callbacks in the
+#: fast run loop (``bound.__func__ is _PROCESS_RESUME``).
+_PROCESS_RESUME = Process._resume
 
 
 class _Condition(Event):
@@ -343,6 +397,10 @@ class Environment:
     ----------
     initial_time:
         Starting value of the clock (defaults to ``0.0``).
+
+    The :mod:`repro.fastpath` flag is captured at construction: an
+    environment created while the fast paths are enabled uses the inlined
+    run loop and the :class:`Timeout` free list for its whole lifetime.
     """
 
     def __init__(self, initial_time: float = 0.0):
@@ -350,6 +408,8 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self._fast = fastpath.ENABLED
+        self._timeout_pool: list[Timeout] = []
 
     # -- properties -------------------------------------------------------
     @property
@@ -374,6 +434,22 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires after ``delay`` time units."""
+        if value is None and self._fast:
+            pool = self._timeout_pool
+            if pool:
+                if delay < 0:
+                    raise SchedulingError(f"negative timeout delay {delay!r}")
+                event = pool.pop()
+                event.callbacks = []
+                event._ok = True
+                event._value = None
+                event._defused = False
+                event.delay = delay = float(delay)
+                heappush(
+                    self._queue, (self._now + delay, NORMAL, self._eid, event)
+                )
+                self._eid += 1
+                return event
         return Timeout(self, delay, value)
 
     def process(
@@ -388,8 +464,8 @@ class Environment:
         A lightweight alternative to spawning a process for fire-and-forget
         work such as message deliveries.
         """
-        timeout = Timeout(self, delay)
-        timeout.callbacks.append(lambda _event: function(*args))
+        timeout = self.timeout(delay)
+        timeout.callbacks.append(_Invoke(function, args))
         return timeout
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
@@ -405,9 +481,7 @@ class Environment:
         if delay < 0:
             raise SchedulingError(f"cannot schedule {event!r} in the past")
         event._scheduled = True
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._eid, event)
-        )
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
         self._eid += 1
 
     def peek(self) -> float:
@@ -418,7 +492,7 @@ class Environment:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        self._now, _, _, event = heappop(self._queue)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -451,13 +525,57 @@ class Environment:
                     f"until={stop_time} lies in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                return stop_event.value
-            if self.peek() > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+        queue = self._queue
+        if self._fast:
+            # Inlined step() loop: localised heap ops, direct slot reads,
+            # and Timeout recycling.  Event order, clock values, and every
+            # raise are identical to the plain loop below.
+            pool = self._timeout_pool
+            while queue:
+                if stop_event is not None and stop_event.callbacks is None:
+                    return stop_event.value
+                if queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                self._now, _, _, event = heappop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok:
+                    # Recycle the dominant event shape: a value-less
+                    # Timeout whose only callback was kernel-owned (a
+                    # process resume or a call_later delivery) — nothing
+                    # else can still hold a reference to it.
+                    if (
+                        type(event) is Timeout
+                        and event._value is None
+                        and len(callbacks) == 1
+                        and len(pool) < _POOL_CAP
+                    ):
+                        callback = callbacks[0]
+                        if (
+                            type(callback) is _Invoke
+                            or getattr(callback, "__func__", None)
+                            is _PROCESS_RESUME
+                        ):
+                            event._value = _PENDING
+                            pool.append(event)
+                elif not event._defused:
+                    value = event._value
+                    if isinstance(value, BaseException):
+                        raise value
+                    raise SimulationError(
+                        f"unhandled event failure: {value!r}"
+                    )
+        else:
+            while queue:
+                if stop_event is not None and stop_event.processed:
+                    return stop_event.value
+                if self.peek() > stop_time:
+                    self._now = stop_time
+                    return None
+                self.step()
 
         if stop_event is not None:
             if stop_event.processed:

@@ -245,12 +245,14 @@ class ZipfSelector:
 
     def sample(self, rng: np.random.Generator) -> int:
         """Draw a rank index in ``0..n-1`` (0 is the hottest)."""
-        return int(np.searchsorted(self._cdf, rng.random(), side="right"))
+        # ndarray.searchsorted skips the np.searchsorted dispatch wrapper;
+        # the result is identical.
+        return int(self._cdf.searchsorted(rng.random(), side="right"))
 
     def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
         """Draw ``count`` rank indices at once."""
-        return np.searchsorted(
-            self._cdf, rng.random(count), side="right"
+        return self._cdf.searchsorted(
+            rng.random(count), side="right"
         ).astype(np.int64)
 
     def probability(self, rank: int) -> float:

@@ -39,6 +39,43 @@ class SearchTree:
         self._root = root
         self._parent: dict[NodeId, Optional[NodeId]] = {root: None}
         self._children: dict[NodeId, list[NodeId]] = {root: []}
+        self._version = 0
+        # node -> tuple path (node .. root), filled lazily by _path() and
+        # cleared by _mutated() on every structural change.
+        self._paths: dict[NodeId, tuple[NodeId, ...]] = {}
+
+    def _mutated(self) -> None:
+        """Bump the structure version and drop every memoised path."""
+        self._version += 1
+        if self._paths:
+            self._paths.clear()
+
+    @property
+    def version(self) -> int:
+        """Structure version: bumped by every mutating operation.
+
+        Route caches outside the tree key their own memoisation on this
+        counter to invalidate on churn, promotion, and renames.
+        """
+        return self._version
+
+    def _path(self, node: NodeId) -> tuple[NodeId, ...]:
+        """Memoised path ``node .. root`` (cached ancestor suffixes reused)."""
+        path = self._paths.get(node)
+        if path is None:
+            self._require(node)
+            parts = [node]
+            current = self._parent[node]
+            while current is not None:
+                cached = self._paths.get(current)
+                if cached is not None:
+                    parts.extend(cached)
+                    break
+                parts.append(current)
+                current = self._parent[current]
+            path = tuple(parts)
+            self._paths[node] = path
+        return path
 
     # -- construction -----------------------------------------------------
     def add_leaf(self, parent: NodeId, node: NodeId) -> None:
@@ -49,6 +86,7 @@ class SearchTree:
         self._parent[node] = parent
         self._children[node] = []
         self._children[parent].append(node)
+        self._mutated()
 
     def insert_on_edge(
         self, upper: NodeId, lower: NodeId, node: NodeId
@@ -72,6 +110,7 @@ class SearchTree:
         self._parent[node] = upper
         self._children[node] = [lower]
         self._parent[lower] = node
+        self._mutated()
 
     def remove_leaf(self, node: NodeId) -> None:
         """Remove a leaf node (fails if it has children or is the root)."""
@@ -84,6 +123,7 @@ class SearchTree:
         self._children[parent].remove(node)
         del self._parent[node]
         del self._children[node]
+        self._mutated()
 
     def splice_out(self, node: NodeId) -> NodeId:
         """Remove an interior node; its children re-parent to its parent.
@@ -106,6 +146,7 @@ class SearchTree:
             self._parent[orphan] = parent
         del self._parent[node]
         del self._children[node]
+        self._mutated()
         return parent
 
     def replace_root(self, new_root: NodeId) -> None:
@@ -123,6 +164,7 @@ class SearchTree:
         self._children[new_root] = children
         for child in children:
             self._parent[child] = new_root
+        self._mutated()
 
     def promote_to_root(self, node: NodeId) -> NodeId:
         """An existing node takes over the failed root's position.
@@ -161,6 +203,7 @@ class SearchTree:
         else:
             siblings = self._children[parent]
             siblings[siblings.index(old)] = new
+        self._mutated()
 
     # -- queries ------------------------------------------------------------
     @property
@@ -204,23 +247,11 @@ class SearchTree:
 
     def depth(self, node: NodeId) -> int:
         """Number of hops from ``node`` up to the root."""
-        self._require(node)
-        depth = 0
-        current = self._parent[node]
-        while current is not None:
-            depth += 1
-            current = self._parent[current]
-        return depth
+        return len(self._path(node)) - 1
 
     def path_to_root(self, node: NodeId) -> list[NodeId]:
         """Nodes from ``node`` (inclusive) up to the root (inclusive)."""
-        self._require(node)
-        path = [node]
-        current = self._parent[node]
-        while current is not None:
-            path.append(current)
-            current = self._parent[current]
-        return path
+        return list(self._path(node))
 
     def ancestors(self, node: NodeId) -> list[NodeId]:
         """Strict ancestors of ``node``, nearest first."""
@@ -228,7 +259,7 @@ class SearchTree:
 
     def lca(self, first: NodeId, second: NodeId) -> NodeId:
         """Lowest common ancestor of two nodes."""
-        first_path = set(self.path_to_root(first))
+        first_path = set(self._path(first))
         current = second
         while current not in first_path:
             current = self._parent[current]
@@ -246,12 +277,7 @@ class SearchTree:
     def on_path_to_root(self, node: NodeId, candidate: NodeId) -> bool:
         """Whether ``candidate`` lies on ``node``'s path to the root."""
         self._require(candidate)
-        current: Optional[NodeId] = node
-        while current is not None:
-            if current == candidate:
-                return True
-            current = self._parent[current]
-        return False
+        return candidate in self._path(node)
 
     def child_branch(self, node: NodeId, descendant: NodeId) -> NodeId:
         """Which child of ``node`` the given strict descendant hangs under.
@@ -260,7 +286,7 @@ class SearchTree:
         descendant of ``node``.
         """
         self._require(node)
-        path = self.path_to_root(descendant)
+        path = self._path(descendant)
         try:
             index = path.index(node)
         except ValueError:
