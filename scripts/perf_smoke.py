@@ -12,6 +12,13 @@ On failure the run is repeated under :mod:`cProfile` and the hottest
 functions are written to ``perf_smoke_profile.txt`` so the CI artifact
 shows *where* the time went, not just that it went.
 
+A second leg guards the telemetry layer's zero-perturbation contract:
+the figure4 smoke experiment is run with the protocol flight recorder
+disabled and then enabled, and both canonical outputs must be
+bit-identical to the committed ``tests/goldens/figure4_smoke.json``.
+An armed recorder that drifts a single float fails here before it can
+corrupt a science run.
+
 Environment overrides:
 
 - ``PERF_SMOKE_BASELINE`` — baseline wall seconds (default: the newest
@@ -29,11 +36,13 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
+from repro import flightrec  # noqa: E402
 from repro.experiments import figure4_arrival_rate  # noqa: E402
 
 REPO = pathlib.Path(__file__).parent.parent
 BENCH_RECORD = REPO / "benchmarks" / "results" / "BENCH_figure4.json"
 PROFILE_OUT = REPO / "perf_smoke_profile.txt"
+GOLDEN = REPO / "tests" / "goldens" / "figure4_smoke.json"
 RATES = (0.1, 1.0, 3.0, 10.0, 30.0)
 
 
@@ -85,6 +94,50 @@ def _write_profile() -> None:
     print(f"perf-smoke: profile written to {PROFILE_OUT}", file=sys.stderr)
 
 
+def _canonical() -> "callable":
+    """The golden canonicalizer, loaded from the test module itself so
+    the gate and the test can never disagree about formatting."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "_golden_canonical", REPO / "tests" / "test_goldens.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.canonical
+
+
+def _telemetry_overhead_leg() -> int:
+    """Recorder off and recorder on must both match the smoke golden."""
+    from repro.experiments import get_experiment
+
+    canonical = _canonical()
+    expected = GOLDEN.read_text(encoding="utf-8")
+    for armed in (False, True):
+        previous = flightrec.set_enabled(armed)
+        start = time.perf_counter()
+        try:
+            result = get_experiment("figure4")(
+                scale="smoke", replications=1, seed=1, rates=(1.0, 10.0)
+            )
+        finally:
+            flightrec.set_enabled(previous)
+        wall = time.perf_counter() - start
+        label = "on" if armed else "off"
+        if canonical(result) != expected:
+            print(
+                f"perf-smoke: telemetry leg FAILED — recorder={label} "
+                f"run drifted from {GOLDEN.name}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"perf-smoke: telemetry recorder={label} "
+            f"bit-identical to golden ({wall:.2f}s)"
+        )
+    return 0
+
+
 def main() -> int:
     budget = float(os.environ.get("PERF_SMOKE_BUDGET", "2.0"))
     baseline = _baseline()
@@ -95,10 +148,10 @@ def main() -> int:
         f"perf-smoke: wall {wall:.2f}s, baseline {baseline:.2f}s, "
         f"budget {budget:g}x (limit {limit:.2f}s) -> {verdict}"
     )
-    if wall <= limit:
-        return 0
-    _write_profile()
-    return 1
+    if wall > limit:
+        _write_profile()
+        return 1
+    return _telemetry_overhead_leg()
 
 
 if __name__ == "__main__":

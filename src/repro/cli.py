@@ -16,6 +16,10 @@ Subcommands:
 - ``repro-dup chaos`` — replay a named chaos scenario (partitions,
   authority crash, failover, consistency auditor) against a scheme;
   ``repro-dup chaos --list`` shows the stock scenarios.
+- ``repro-dup top`` — render a sweep telemetry stream (written by
+  ``run --telemetry-out``) as a one-screen progress dashboard.
+  ``simulate`` and ``chaos`` take ``--flight-out`` (protocol flight
+  recorder dump) and ``--telemetry-out`` (tree-evolution timeline).
 - ``repro-dup profile`` — run an experiment under :mod:`cProfile`
   (serial, ``workers=1``) and print the hottest functions; the raw
   profile can be dumped for ``snakeviz``/``pstats`` with ``--out``.
@@ -93,6 +97,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "every worker count, and --workers 1 runs the serial path"
         ),
     )
+    run_parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream structured per-trial progress events as JSONL to "
+            "PATH (render live with 'repro-dup top PATH')"
+        ),
+    )
+    run_parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "continue past failing trials/experiments and print a "
+            "per-experiment failure table at the end ('all' only "
+            "continues to the next experiment)"
+        ),
+    )
 
     sim_parser = subparsers.add_parser(
         "simulate", help="run one ad-hoc simulation"
@@ -138,7 +160,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=600.0,
         help="simulated seconds between registry snapshots (default: 600)",
     )
+    sim_parser.add_argument(
+        "--churn-rate",
+        type=float,
+        default=0.0,
+        help=(
+            "network-wide join and leave rate in events/second "
+            "(0 disables churn; failures stay off)"
+        ),
+    )
     _add_fault_arguments(sim_parser)
+    _add_telemetry_arguments(sim_parser)
 
     observe_parser = subparsers.add_parser(
         "observe", help="run one fully instrumented simulation"
@@ -229,6 +261,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos_parser.add_argument("--seed", type=int, default=1)
     _add_fault_arguments(chaos_parser)
+    _add_telemetry_arguments(chaos_parser)
+
+    top_parser = subparsers.add_parser(
+        "top", help="render a sweep telemetry stream as a dashboard"
+    )
+    top_parser.add_argument(
+        "path", help="telemetry JSONL file (from run --telemetry-out)"
+    )
+    top_parser.add_argument(
+        "--tail",
+        type=int,
+        default=5,
+        help="recent trials to list (default: 5)",
+    )
 
     profile_parser = subparsers.add_parser(
         "profile", help="profile an experiment run under cProfile"
@@ -268,6 +314,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also dump the raw profile (pstats format) to PATH",
     )
     return parser
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flight-recorder / timeline flags shared by simulate and chaos."""
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--flight-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "arm the protocol flight recorder and dump its event ring "
+            "as JSONL to PATH after the run"
+        ),
+    )
+    group.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "sample the tree-evolution timeline and export the windowed "
+            "series as JSONL to PATH"
+        ),
+    )
+    group.add_argument(
+        "--timeline-window",
+        type=float,
+        default=600.0,
+        help="simulated seconds per timeline window (default: 600)",
+    )
 
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -418,7 +493,14 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    from repro.engine.parallel import resolve_workers, set_default_progress
+    from repro.engine.parallel import (
+        resolve_workers,
+        set_default_event_sink,
+        set_default_progress,
+    )
+    from repro.engine.telemetry import TelemetryWriter
+    from repro.errors import ExperimentError
+    from repro.experiments.registry import format_failure_table, run_all
 
     runner = get_experiment(args.experiment)
     workers = resolve_workers(args.workers)
@@ -426,42 +508,82 @@ def _command_run(args: argparse.Namespace) -> int:
     def progress(line: str) -> None:
         print(line, file=sys.stderr, flush=True)
 
+    kwargs = dict(
+        scale=args.scale,
+        replications=args.replications,
+        seed=args.seed,
+        workers=workers,
+    )
+    failures: list = []
+    if args.keep_going and runner is run_all:
+        kwargs.update(keep_going=True, failures=failures)
+    writer = TelemetryWriter(args.telemetry_out) if args.telemetry_out else None
     previous = set_default_progress(progress)
+    previous_sink = set_default_event_sink(writer)
     try:
-        outcome = runner(
-            scale=args.scale,
-            replications=args.replications,
-            seed=args.seed,
-            workers=workers,
-        )
+        outcome = runner(**kwargs)
+    except ExperimentError as error:
+        if not args.keep_going:
+            raise
+        failures.extend(getattr(error, "trial_failures", ()) or ())
+        outcome = []
     finally:
         set_default_progress(previous)
+        set_default_event_sink(previous_sink)
+        if writer is not None:
+            for failure in failures:
+                writer.write_record(failure.to_record())
+            writer.close()
+            print(
+                f"wrote {writer.written} telemetry records to "
+                f"{args.telemetry_out}",
+                file=sys.stderr,
+            )
     results = outcome if isinstance(outcome, list) else [outcome]
-    failed = False
+    failed = bool(failures)
     for result in results:
         print(result.render())
         print()
         failed = failed or not result.all_shapes_hold
+    if failures:
+        print(format_failure_table(failures))
     return 1 if failed else 0
 
 
-def _instrumented_run(config, trace_out, metrics_out, snapshot_interval):
+def _instrumented_run(
+    config,
+    trace_out,
+    metrics_out,
+    snapshot_interval,
+    flight_out=None,
+    telemetry_out=None,
+    timeline_window=600.0,
+):
     """Run one simulation with the requested observability attached.
 
     Returns ``(result, tracer)``; ``tracer`` is ``None`` when tracing
-    was not requested.
+    was not requested.  ``flight_out`` dumps the protocol flight
+    recorder as JSONL after the run; ``telemetry_out`` samples the
+    tree-evolution timeline every ``timeline_window`` simulated seconds
+    and exports the windowed series.
     """
+    import dataclasses
+
     from repro.engine.simulation import Simulation
-    from repro.metrics.export import export_registry, export_traces
+    from repro.metrics.export import export_registry, export_traces, write_jsonl
 
     # Fail on an unwritable output path now, not after an hours-long run.
-    for path in (trace_out, metrics_out):
+    for path in (trace_out, metrics_out, flight_out, telemetry_out):
         if path:
             open(path, "w", encoding="utf-8").close()
+    if flight_out and not config.flight_recorder:
+        config = dataclasses.replace(config, flight_recorder=True)
     sim = Simulation(config)
     tracer = sim.enable_tracing() if trace_out else None
     if metrics_out:
         sim.enable_snapshots(interval=snapshot_interval)
+    if telemetry_out:
+        sim.enable_timeline(window=timeline_window)
     result = sim.run()
     if trace_out:
         count = export_traces(tracer, trace_out)
@@ -469,10 +591,23 @@ def _instrumented_run(config, trace_out, metrics_out, snapshot_interval):
     if metrics_out:
         count = export_registry(sim.registry, metrics_out)
         print(f"wrote {count} snapshot records to {metrics_out}")
+    if flight_out:
+        count = sim.dump_flight(flight_out)
+        print(f"wrote {count} flight records to {flight_out}")
+    if telemetry_out:
+        count = write_jsonl(telemetry_out, sim.timeline.records())
+        print(f"wrote {count} timeline records to {telemetry_out}")
     return result, tracer
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
+    overrides = _fault_overrides(args)
+    if args.churn_rate > 0:
+        from repro.workload.churn import ChurnConfig
+
+        overrides["churn"] = ChurnConfig(
+            join_rate=args.churn_rate, leave_rate=args.churn_rate
+        )
     config = SimulationConfig(
         scheme=args.scheme,
         num_nodes=args.nodes,
@@ -487,12 +622,23 @@ def _command_simulate(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         topology=args.topology,
         seed=args.seed,
-        **_fault_overrides(args),
+        **overrides,
     )
     print(f"config: {config.describe()}")
-    if args.trace_out or args.metrics_out:
+    if (
+        args.trace_out
+        or args.metrics_out
+        or args.flight_out
+        or args.telemetry_out
+    ):
         result, _ = _instrumented_run(
-            config, args.trace_out, args.metrics_out, args.snapshot_interval
+            config,
+            args.trace_out,
+            args.metrics_out,
+            args.snapshot_interval,
+            flight_out=args.flight_out,
+            telemetry_out=args.telemetry_out,
+            timeline_window=args.timeline_window,
         )
     else:
         result = run_simulation(config)
@@ -606,7 +752,18 @@ def _command_chaos(args: argparse.Namespace) -> int:
     config = scenario.apply(config)
     print(f"scenario: {scenario.name} -- {scenario.description}")
     print(f"config: {config.describe()}")
-    result = run_simulation(config)
+    if args.flight_out or args.telemetry_out:
+        result, _ = _instrumented_run(
+            config,
+            None,
+            None,
+            0.0,
+            flight_out=args.flight_out,
+            telemetry_out=args.telemetry_out,
+            timeline_window=args.timeline_window,
+        )
+    else:
+        result = run_simulation(config)
     print(result)
     if result.extras:
         chaos_keys = tuple(
@@ -623,6 +780,14 @@ def _command_chaos(args: argparse.Namespace) -> int:
         if rest:
             print(f"  other extras: {rest}")
     print(f"wall: {result.wall_seconds:.1f}s")
+    return 0
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    from repro.engine.telemetry import render_top
+    from repro.metrics.export import read_jsonl
+
+    print(render_top(read_jsonl(args.path), tail=args.tail))
     return 0
 
 
@@ -675,6 +840,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_trace(args)
     if args.command == "chaos":
         return _command_chaos(args)
+    if args.command == "top":
+        return _command_top(args)
     if args.command == "profile":
         return _command_profile(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -105,6 +105,12 @@ class ConsistencyAuditor:
         How many consecutive sweeps a finding must recur in before it
         confirms (default 2; 1 disables the suspicion stage — useful in
         synchronous tests where no messages are ever in flight).
+    recorder:
+        Optional :class:`repro.flightrec.FlightRecorder`; every
+        confirmed violation emits an ``audit-detect`` event and every
+        executed repair an ``audit-repair`` event (exactly one per
+        confirmed violation, so the event count always equals
+        :attr:`repairs`).
     """
 
     def __init__(
@@ -114,11 +120,13 @@ class ConsistencyAuditor:
         clock: Callable[[], float],
         emit: EmitUpstream,
         confirm_sweeps: int = 2,
+        recorder=None,
     ):
         self._protocol = protocol
         self._tree = tree
         self._clock = clock
         self._emit = emit
+        self._recorder = recorder
         self._confirm_sweeps = max(1, confirm_sweeps)
         self.sweeps = 0
         self.clean_sweeps = 0
@@ -172,7 +180,21 @@ class ConsistencyAuditor:
                 continue
             confirmed.append(violation)
             self.violations_by_kind[violation.kind] += 1
+            if self._recorder is not None:
+                self._recorder.record(
+                    "audit-detect",
+                    node=violation.node,
+                    subject=violation.subject,
+                    detail=f"{violation.kind}: {violation.detail}",
+                )
             repair()
+            if self._recorder is not None:
+                self._recorder.record(
+                    "audit-repair",
+                    node=violation.node,
+                    subject=violation.subject,
+                    detail=violation.kind,
+                )
             # Repaired: the streak restarts if the finding ever recurs.
             self._suspicions.pop(violation.key, None)
         self.last_violations = tuple(confirmed)

@@ -68,6 +68,9 @@ class DupMaintenance:
     charge:
         Charges bookkeeping hops that are not Figure-3 flows (the join
         notification); defaults to a no-op.
+    recorder:
+        Optional :class:`repro.flightrec.FlightRecorder`; tree grafts,
+        prunes, substitutes, and re-rootings emit structured events.
     """
 
     def __init__(
@@ -76,11 +79,17 @@ class DupMaintenance:
         tree: SearchTree,
         emit: EmitUpstream,
         charge: Optional[ChargeHops] = None,
+        recorder=None,
     ):
         self._protocol = protocol
         self._tree = tree
         self._emit = emit
         self._charge = charge or (lambda hops: None)
+        self._recorder = recorder
+
+    def _record(self, kind: str, node=None, subject=None, detail="") -> None:
+        if self._recorder is not None:
+            self._recorder.record(kind, node, subject, detail)
 
     # -- arrival ------------------------------------------------------------
     def node_joined_edge(
@@ -100,6 +109,12 @@ class DupMaintenance:
             if entry != upper and self._routes_through(upper, entry, lower)
         ]
         self._tree.insert_on_edge(upper, lower, new)
+        self._record(
+            "tree-graft",
+            node=new,
+            subject=upper,
+            detail=f"edge lower={lower} inherited={len(inherited)}",
+        )
         if inherited:
             self._protocol.adopt_entries(new, inherited)
             self._charge(1)  # upper -> new handover notification
@@ -107,6 +122,7 @@ class DupMaintenance:
     def node_joined_leaf(self, parent: NodeId, new: NodeId) -> None:
         """A node joins outside every virtual path: no DUP action needed."""
         self._tree.add_leaf(parent, new)
+        self._record("tree-graft", node=new, subject=parent, detail="leaf")
 
     # -- graceful departure -----------------------------------------------------
     def node_left(self, node: NodeId) -> None:
@@ -120,11 +136,18 @@ class DupMaintenance:
             self._emit(node, Unsubscribe(node))
             self._protocol.drop_node(node)
             self._tree.splice_out(node)
+            self._record("tree-prune", node=node, detail="left end-node")
             return
 
         entries = [entry for entry in s_node.snapshot() if entry != node]
         self._protocol.drop_node(node)
         parent = self._tree.splice_out(node)
+        self._record(
+            "tree-prune",
+            node=node,
+            subject=parent,
+            detail=f"left entries={len(entries)}",
+        )
         if not entries:
             return  # the node was on no virtual path (or only self-subscribed)
 
@@ -142,6 +165,12 @@ class DupMaintenance:
         ):
             # The absorber's upstream advertisement changed (e.g. it now
             # represents the branch itself): correct the upstream lists.
+            self._record(
+                "tree-substitute",
+                node=parent,
+                subject=pre_adv,
+                detail=f"{pre_adv}->{post_adv}",
+            )
             self._emit(parent, Substitute(pre_adv, post_adv))
 
     # -- failure ----------------------------------------------------------------
@@ -157,13 +186,19 @@ class DupMaintenance:
             raise TopologyError("use root_failed for the root")
         s_node = self._protocol.drop_node(node)
         parent = self._tree.splice_out(node)
+        orphans = [entry for entry in s_node if entry != node]
+        self._record(
+            "tree-prune",
+            node=node,
+            subject=parent,
+            detail=f"failed orphans={len(orphans)}",
+        )
         # Failure case 2: the upstream virtual-path neighbor notices that
         # its branch through the failed node went silent.
         if node in self._protocol.s_list(parent):
             self._emit_local_unsubscribe(parent, node)
         # Failure cases 3 and 4: every node the failed one pushed to
         # re-establishes its virtual path.
-        orphans = [entry for entry in s_node if entry != node]
         for orphan in orphans:
             self._emit(orphan, RefreshSubscribe(orphan))
         return orphans
@@ -179,6 +214,12 @@ class DupMaintenance:
         old_root = self._tree.root
         self._protocol.drop_node(old_root)
         self._tree.replace_root(new_root)
+        self._record(
+            "failover-reroot",
+            node=new_root,
+            subject=old_root,
+            detail="fresh-root",
+        )
         for child in self._tree.children(new_root):
             s_child = self._protocol.s_list(child)
             advertisement = _advertisement(s_child, child)
@@ -206,6 +247,12 @@ class DupMaintenance:
         self._protocol.drop_node(old_root)
         self._protocol.drop_node(standby)
         absorber = self._tree.promote_to_root(standby)
+        self._record(
+            "failover-reroot",
+            node=standby,
+            subject=old_root,
+            detail=f"standby absorber={absorber}",
+        )
         if absorber == old_root:
             # The standby was a direct child of the dead root: its former
             # children are its own children now, so it keeps serving their
@@ -229,6 +276,12 @@ class DupMaintenance:
                 and post_adv is not None
                 and pre_adv != post_adv
             ):
+                self._record(
+                    "tree-substitute",
+                    node=absorber,
+                    subject=pre_adv,
+                    detail=f"{pre_adv}->{post_adv}",
+                )
                 self._emit(absorber, Substitute(pre_adv, post_adv))
         for child in self._tree.children(standby):
             s_child = self._protocol.s_list(child)

@@ -3,10 +3,14 @@
 from repro.engine.config import SimulationConfig
 from repro.engine.parallel import (
     ParallelRunner,
+    ProgressEvent,
+    TrialFailure,
     TrialSpec,
     resolve_workers,
+    set_default_event_sink,
     set_default_progress,
 )
+from repro.engine.telemetry import TelemetryWriter, render_top
 from repro.engine.results import ComparisonResult, ReplicatedResult, SimulationResult
 from repro.engine.multikey import MultiKeySimulation
 from repro.engine.runner import (
@@ -23,17 +27,22 @@ __all__ = [
     "ComparisonResult",
     "MultiKeySimulation",
     "ParallelRunner",
+    "ProgressEvent",
     "ReplicatedResult",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
+    "TelemetryWriter",
+    "TrialFailure",
     "TrialSpec",
     "compare_many",
     "compare_schemes",
+    "render_top",
     "replicate_many",
     "resolve_workers",
     "run_replications",
     "run_simulation",
+    "set_default_event_sink",
     "set_default_progress",
     "sweep",
 ]

@@ -135,6 +135,17 @@ class SimulationConfig:
         (:mod:`repro.core.auditor`), which re-checks the DUP tree
         invariants and repairs divergence left behind by partitions and
         failovers (0 disables; only DUP-family schemes are audited).
+    flight_recorder:
+        Arm the protocol flight recorder (:mod:`repro.flightrec`): a
+        bounded ring buffer of structured protocol events (tree
+        mutations, subscriptions, lease expiries, failovers, audit
+        repairs, partitions) dumped as JSONL on anomaly or on demand.
+        Off by default; the ``REPRO_FLIGHT`` environment variable arms
+        it process-wide.  The recorder is a pure observer — a run with
+        it armed is bit-identical to the same run without.
+    flight_capacity:
+        Ring-buffer size of the flight recorder (events retained;
+        per-kind counts are kept for the whole run regardless).
     """
 
     scheme: str = "dup"
@@ -170,6 +181,8 @@ class SimulationConfig:
     failover_timeout: float = 120.0
     authority_crash_at: float = 0.0
     audit_interval: float = 0.0
+    flight_recorder: bool = False
+    flight_capacity: int = 4096
 
     def __post_init__(self) -> None:
         self.validate()
@@ -281,6 +294,10 @@ class SimulationConfig:
         if self.audit_interval < 0:
             raise ConfigError(
                 f"audit_interval must be >= 0, got {self.audit_interval}"
+            )
+        if self.flight_capacity < 1:
+            raise ConfigError(
+                f"flight_capacity must be >= 1, got {self.flight_capacity}"
             )
         wants_root_crash = self.authority_crash_at > 0 or (
             self.churn is not None and self.churn.allow_root_failure

@@ -27,9 +27,11 @@ Worker-count resolution (:func:`resolve_workers`):
 
 from __future__ import annotations
 
+import math
 import os
+import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.engine.config import SimulationConfig
@@ -56,6 +58,69 @@ def set_default_progress(
     global _default_progress
     previous = _default_progress
     _default_progress = callback
+    return previous
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """A trial that raised, recorded for the per-experiment failure table."""
+
+    experiment: str
+    trial: str
+    error: str
+
+    def to_record(self) -> dict:
+        """A JSONL-ready record (``type`` discriminates the stream)."""
+        return {"type": "trial-failure", **asdict(self)}
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One structured progress tick from a sweep.
+
+    Emitted once per finished (or failed) trial.  ``eta_seconds`` and
+    ``utilization`` are live gauges: remaining-trial estimate at the
+    current completion rate, and the fraction of worker capacity spent
+    inside simulations so far.  ``mean_latency`` / ``cost_per_query``
+    mirror the finished trial's headline numbers (NaN on failure) so a
+    dashboard can plot rolling divergence/cost without the full result.
+    """
+
+    kind: str  # "trial-done" | "trial-failed"
+    experiment: str
+    trial: str
+    done: int
+    failed: int
+    total: int
+    workers: int
+    wall_seconds: float
+    elapsed_seconds: float
+    eta_seconds: float
+    utilization: float
+    mean_latency: float = math.nan
+    cost_per_query: float = math.nan
+    error: str = ""
+
+    def to_record(self) -> dict:
+        """A JSONL-ready record (``type`` discriminates the stream)."""
+        return {"type": "progress", **asdict(self)}
+
+
+_default_event_sink: Optional[Callable[[ProgressEvent], None]] = None
+
+
+def set_default_event_sink(
+    callback: Optional[Callable[[ProgressEvent], None]],
+) -> Optional[Callable[[ProgressEvent], None]]:
+    """Install a process-wide :class:`ProgressEvent` sink.
+
+    The structured sibling of :func:`set_default_progress`: the CLI's
+    ``--telemetry-out`` points this at a JSONL writer, and ``repro-dup
+    top`` renders the same stream live.  Returns the previous sink.
+    """
+    global _default_event_sink
+    previous = _default_event_sink
+    _default_event_sink = callback
     return previous
 
 
@@ -127,11 +192,21 @@ class ParallelRunner:
     experiment:
         Label stamped onto progress lines and failure messages for specs
         that do not carry their own.
+    event_sink:
+        Per-trial :class:`ProgressEvent` callback; when omitted, the
+        process-wide default from :func:`set_default_event_sink` is used.
+    keep_going:
+        When true, a failing trial is recorded in :attr:`failures`
+        instead of aborting the sweep; the surviving results are still
+        returned in spec order.  The default (false) preserves the
+        historical fail-fast contract: the first failure raises
+        :class:`ExperimentError` (with the recorded failures attached as
+        its ``trial_failures`` attribute).
 
     After :meth:`run_trials` returns, :attr:`metrics` holds the merged
     :class:`FrozenMetrics` of every trial (pool path only; the serial
     path adds no instrumentation overhead, exactly like the historical
-    runner).
+    runner) and :attr:`failures` the :class:`TrialFailure` table.
     """
 
     def __init__(
@@ -139,11 +214,18 @@ class ParallelRunner:
         workers: "int | str | None" = None,
         progress: Optional[Callable[[str], None]] = None,
         experiment: str = "",
+        event_sink: Optional[Callable[[ProgressEvent], None]] = None,
+        keep_going: bool = False,
     ):
         self.workers = resolve_workers(workers)
         self._progress = progress
+        self._event_sink = event_sink
         self.experiment = experiment
+        self.keep_going = keep_going
         self.metrics: Optional[FrozenMetrics] = None
+        self.failures: list[TrialFailure] = []
+        self._started_at = 0.0
+        self._busy_seconds = 0.0
 
     # -- execution -----------------------------------------------------------
     def run_trials(
@@ -151,8 +233,11 @@ class ParallelRunner:
     ) -> list[SimulationResult]:
         """Execute every trial; results are returned in spec order."""
         specs = [self._coerce(spec) for spec in specs]
+        self.failures = []
+        self._busy_seconds = 0.0
         if not specs:
             return []
+        self._started_at = time.perf_counter()
         if self.workers == 1:
             return self._run_serial(specs)
         return self._run_pool(specs)
@@ -176,15 +261,15 @@ class ParallelRunner:
 
     def _run_serial(self, specs: Sequence[TrialSpec]) -> list[SimulationResult]:
         results = []
-        for done, spec in enumerate(specs, start=1):
+        done = 0
+        for spec in specs:
             try:
                 result = Simulation(spec.config).run()
             except Exception as error:
-                # Same attribution as the pool path: name the trial.
-                raise ExperimentError(
-                    f"worker failed on {spec.describe()}: {error!r}"
-                ) from error
+                self._fail(spec, error, done, len(specs))
+                continue
             results.append(result)
+            done += 1
             self._report(done, len(specs), spec, result)
         return results
 
@@ -209,10 +294,8 @@ class ParallelRunner:
                         spec = specs[index]
                         error = future.exception()
                         if error is not None:
-                            raise ExperimentError(
-                                f"worker failed on {spec.describe()}: "
-                                f"{error!r}"
-                            ) from error
+                            self._fail(spec, error, done, len(specs))
+                            continue
                         result, metrics = future.result()
                         slots[index], frozen[index] = result, metrics
                         done += 1
@@ -226,10 +309,46 @@ class ParallelRunner:
         )
         return [result for result in slots if result is not None]
 
+    # -- failures ------------------------------------------------------------
+    def _fail(
+        self, spec: TrialSpec, error: BaseException, done: int, total: int
+    ) -> None:
+        """Record (or raise on) one failed trial."""
+        failure = TrialFailure(
+            experiment=spec.experiment or self.experiment,
+            trial=spec.describe(),
+            error=repr(error),
+        )
+        self.failures.append(failure)
+        self._emit_event(
+            kind="trial-failed",
+            spec=spec,
+            done=done,
+            total=total,
+            wall_seconds=math.nan,
+            error=failure.error,
+        )
+        if not self.keep_going:
+            wrapped = ExperimentError(
+                f"worker failed on {spec.describe()}: {error!r}"
+            )
+            wrapped.trial_failures = tuple(self.failures)
+            raise wrapped from error
+
     # -- progress ------------------------------------------------------------
     def _report(
         self, done: int, total: int, spec: TrialSpec, result: SimulationResult
     ) -> None:
+        self._busy_seconds += result.wall_seconds
+        self._emit_event(
+            kind="trial-done",
+            spec=spec,
+            done=done,
+            total=total,
+            wall_seconds=result.wall_seconds,
+            mean_latency=result.mean_latency,
+            cost_per_query=result.cost_per_query,
+        )
         progress = (
             self._progress if self._progress is not None else _default_progress
         )
@@ -240,15 +359,68 @@ class ParallelRunner:
             f"done in {result.wall_seconds:.1f}s"
         )
 
+    def _emit_event(
+        self,
+        kind: str,
+        spec: TrialSpec,
+        done: int,
+        total: int,
+        wall_seconds: float,
+        mean_latency: float = math.nan,
+        cost_per_query: float = math.nan,
+        error: str = "",
+    ) -> None:
+        sink = (
+            self._event_sink
+            if self._event_sink is not None
+            else _default_event_sink
+        )
+        if sink is None:
+            return
+        elapsed = max(time.perf_counter() - self._started_at, 1e-9)
+        failed = len(self.failures)
+        finished = done + failed
+        if finished > 0:
+            eta = (total - finished) * (elapsed / finished)
+        else:
+            eta = math.nan
+        utilization = min(
+            self._busy_seconds / (elapsed * self.workers), 1.0
+        )
+        sink(
+            ProgressEvent(
+                kind=kind,
+                experiment=spec.experiment or self.experiment,
+                trial=spec.describe(),
+                done=done,
+                failed=failed,
+                total=total,
+                workers=self.workers,
+                wall_seconds=wall_seconds,
+                elapsed_seconds=elapsed,
+                eta_seconds=eta,
+                utilization=utilization,
+                mean_latency=mean_latency,
+                cost_per_query=cost_per_query,
+                error=error,
+            )
+        )
+
 
 def run_trials(
     specs: Iterable[TrialSpec],
     workers: "int | str | None" = None,
     progress: Optional[Callable[[str], None]] = None,
     experiment: str = "",
+    event_sink: Optional[Callable[[ProgressEvent], None]] = None,
+    keep_going: bool = False,
 ) -> list[SimulationResult]:
     """Convenience wrapper: one-shot :class:`ParallelRunner` execution."""
     runner = ParallelRunner(
-        workers=workers, progress=progress, experiment=experiment
+        workers=workers,
+        progress=progress,
+        experiment=experiment,
+        event_sink=event_sink,
+        keep_going=keep_going,
     )
     return runner.run_trials(specs)

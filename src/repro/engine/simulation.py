@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro import flightrec
 from repro.core.interest import EwmaInterestPolicy, WindowInterestPolicy
 from repro.engine.config import SimulationConfig
 from repro.engine.results import SimulationResult
@@ -89,12 +90,25 @@ class Simulation:
         # Recorder handle bound once: every completed query goes through
         # it, so skip the attribute chase per call.
         self._latency_record = self.latency.record
+        # -- flight recorder: a pure observer (no RNG, no events), so a
+        # run with it armed is bit-identical to one without.  Armed by
+        # config or process-wide by REPRO_FLIGHT.
+        self.recorder: Optional[flightrec.FlightRecorder] = None
+        if config.flight_recorder or flightrec.ENABLED:
+            self.recorder = flightrec.FlightRecorder(
+                clock=lambda: self.env.now,
+                capacity=config.flight_capacity,
+            )
+            flightrec.LAST = self.recorder
         # -- fault layer: only constructed when a plan asks for it, so a
         # fault-free run is bit-identical to one without the layer.
         self.injector: Optional[FaultInjector] = None
         if config.faults is not None and config.faults.enabled:
             self.injector = FaultInjector(
-                config.faults, self.streams, clock=lambda: self.env.now
+                config.faults,
+                self.streams,
+                clock=lambda: self.env.now,
+                recorder=self.recorder,
             )
         self.transport = Transport(
             env=self.env,
@@ -145,10 +159,12 @@ class Simulation:
                 env=self.env,
                 standbys=self._choose_standbys(config.authority_standbys),
                 failover_timeout=config.failover_timeout,
+                recorder=self.recorder,
             )
         self._failover_at: Optional[float] = None
         self.auditor = None
         self._monitor = None
+        self._timeline = None
         self._trace = None
         self._ran = False
         self.tracer = None
@@ -524,6 +540,43 @@ class Simulation:
             return None
         return self.tree.depth(node)
 
+    @property
+    def timeline(self):
+        """The tree-evolution timeline, when enabled (else ``None``)."""
+        return self._timeline
+
+    def enable_timeline(
+        self, window: float = 600.0, max_buckets: int = 256
+    ):
+        """Sample the tree-evolution timeline every ``window`` seconds.
+
+        Returns the :class:`~repro.metrics.windows.TreeTimeline`
+        (idempotent; must be called before :meth:`run`).  Memory is
+        bounded by ``max_buckets`` windows per metric regardless of the
+        run length; the timeline is a pure observer and never perturbs
+        the run.
+        """
+        from repro.metrics.windows import TreeTimeline
+
+        if self._timeline is not None:
+            return self._timeline
+        timeline = TreeTimeline(window=window, max_buckets=max_buckets)
+
+        def loop():
+            while True:
+                yield self.env.timeout(timeline.window)
+                timeline.sample(self)
+
+        self.env.process(loop(), name="tree-timeline")
+        self._timeline = timeline
+        return timeline
+
+    def dump_flight(self, path) -> int:
+        """Dump the flight recorder's ring as JSONL; 0 when unarmed."""
+        if self.recorder is None:
+            return 0
+        return self.recorder.dump(path)
+
     def enable_snapshots(self, interval: float = 600.0) -> None:
         """Sample the metrics registry every ``interval`` simulated
         seconds (must be called before :meth:`run`)."""
@@ -787,7 +840,11 @@ class Simulation:
         interval = self.config.audit_interval
         while True:
             yield self.env.timeout(interval)
-            self.auditor.sweep()
+            confirmed = self.auditor.sweep()
+            if confirmed and self.recorder is not None:
+                # Divergence is an anomaly worth a post-mortem: flush
+                # the ring (latest divergence wins the file).
+                self.recorder.anomaly("auditor-divergence")
 
     def _query_loop(self):
         config = self.config
@@ -923,6 +980,7 @@ class Simulation:
                 tree=self.tree,
                 clock=lambda: self.env.now,
                 emit=self.scheme._emit_maintenance,
+                recorder=self.recorder,
             )
             self.env.process(
                 self._audit_loop(), name=f"auditor-{self.key}"
@@ -960,7 +1018,14 @@ class Simulation:
             self.env.process(self._query_loop(), name="query-workload")
         if self.config.churn is not None and self.config.churn.enabled:
             self.env.process(self._churn_loop(), name="churn")
-        self.env.run(until=self.config.duration)
+        try:
+            self.env.run(until=self.config.duration)
+        except BaseException:
+            # A crashed run is exactly what the flight recorder is for:
+            # flush the ring before the exception propagates.
+            if self.recorder is not None:
+                self.recorder.anomaly("run-failure")
+            raise
         wall = time.perf_counter() - started
         return self._collect(wall)
 

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional, Sequence
 
+from repro.engine.parallel import TrialFailure
 from repro.errors import ExperimentError
 from repro.experiments import (
     ablations,
@@ -49,6 +50,8 @@ def run_all(
     replications: int = 1,
     seed: int = 1,
     workers=None,
+    keep_going: bool = False,
+    failures: Optional[list] = None,
 ):
     """Run every registered experiment; returns the flat result list.
 
@@ -56,6 +59,12 @@ def run_all(
     in a few minutes; ``bench`` takes tens of minutes; ``paper`` runs for
     many hours (full Table I fidelity).  ``workers`` is forwarded to each
     experiment's trial fan-out (see :mod:`repro.engine.parallel`).
+
+    ``keep_going`` continues past a failing experiment instead of
+    aborting the whole batch; each failed trial is recorded as a
+    :class:`~repro.engine.parallel.TrialFailure` and appended to the
+    caller-supplied ``failures`` list (render it with
+    :func:`format_failure_table`).
     """
     results = []
     for name, runner in _REGISTRY.items():
@@ -68,14 +77,43 @@ def run_all(
             "ablation-"
         ):
             continue  # covered elsewhere / deliberately slow
-        outcome = runner(
-            scale=scale, replications=replications, seed=seed, workers=workers
-        )
+        try:
+            outcome = runner(
+                scale=scale,
+                replications=replications,
+                seed=seed,
+                workers=workers,
+            )
+        except ExperimentError as error:
+            if not keep_going:
+                raise
+            recorded = getattr(error, "trial_failures", None) or (
+                TrialFailure(experiment=name, trial=name, error=repr(error)),
+            )
+            if failures is not None:
+                failures.extend(recorded)
+            continue
         if isinstance(outcome, list):
             results.extend(outcome)
         else:
             results.append(outcome)
     return results
+
+
+def format_failure_table(failures: Sequence[TrialFailure]) -> str:
+    """Render the per-experiment failure table ``run_all`` collected."""
+    if not failures:
+        return "no failures"
+    by_experiment: dict[str, list[TrialFailure]] = {}
+    for failure in failures:
+        by_experiment.setdefault(failure.experiment or "?", []).append(failure)
+    lines = [f"{len(failures)} failed trial(s) in {len(by_experiment)} experiment(s):"]
+    for experiment in sorted(by_experiment):
+        entries = by_experiment[experiment]
+        lines.append(f"  {experiment} ({len(entries)} failed)")
+        for failure in entries:
+            lines.append(f"    {failure.trial}: {failure.error}")
+    return "\n".join(lines)
 
 
 _REGISTRY["all"] = run_all

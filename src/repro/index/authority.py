@@ -225,6 +225,7 @@ class StandbyPool:
         env: Environment,
         standbys: Sequence[NodeId],
         failover_timeout: float,
+        recorder=None,
     ):
         if not standbys:
             raise ConfigError("StandbyPool needs at least one standby")
@@ -233,6 +234,7 @@ class StandbyPool:
                 f"failover_timeout must be positive, got {failover_timeout}"
             )
         self._env = env
+        self._recorder = recorder
         self._ranked: tuple[NodeId, ...] = tuple(standbys)
         self._timeout = float(failover_timeout)
         self._last_heard: dict[NodeId, float] = {
@@ -304,6 +306,10 @@ class StandbyPool:
         for node in self._ranked:
             if functioning(node) and node in self._state:
                 self._promoted = node
+                if self._recorder is not None:
+                    self._recorder.record(
+                        "failover-promotion", node=node, detail="replicated"
+                    )
                 return node
         if force:
             # Desperation: promote a functioning standby even without a
@@ -311,5 +317,11 @@ class StandbyPool:
             for node in self._ranked:
                 if functioning(node):
                     self._promoted = node
+                    if self._recorder is not None:
+                        self._recorder.record(
+                            "failover-promotion",
+                            node=node,
+                            detail="desperation",
+                        )
                     return node
         return None

@@ -31,6 +31,12 @@ from repro.metrics.registry import (
     MetricsRegistry,
 )
 from repro.metrics.report import MetricsReport
+from repro.metrics.windows import (
+    TimeBuckets,
+    TreeTimeline,
+    WindowedReservoir,
+    reconstruct_series,
+)
 
 __all__ = [
     "CostLedger",
@@ -41,9 +47,13 @@ __all__ = [
     "LatencyRecorder",
     "MetricsRegistry",
     "MetricsReport",
+    "TimeBuckets",
+    "TreeTimeline",
+    "WindowedReservoir",
     "export_messages",
     "export_registry",
     "export_traces",
     "read_jsonl",
+    "reconstruct_series",
     "write_jsonl",
 ]

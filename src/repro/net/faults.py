@@ -208,9 +208,11 @@ class FaultInjector:
         plan: FaultPlan,
         streams: "RandomStreams",
         clock,
+        recorder=None,
     ):
         self.plan = plan
         self._clock = clock
+        self._recorder = recorder
         self._loss_rng = streams.get("faults-loss")
         self._dup_rng = streams.get("faults-duplicate")
         self._delay_rng = streams.get("faults-delay")
@@ -285,9 +287,19 @@ class FaultInjector:
             )
         self._components = components
         self.partitions_started += 1
+        if self._recorder is not None:
+            self._recorder.record(
+                "partition-open",
+                detail=f"components={components} members={len(order)}",
+            )
 
     def heal_partition(self) -> None:
         """End the active partition; all components reconnect."""
+        if self._components > 0 and self._recorder is not None:
+            self._recorder.record(
+                "partition-heal",
+                detail=f"components={self._components}",
+            )
         self._components = 0
         self._component = {}
 
@@ -322,6 +334,8 @@ class FaultInjector:
     # -- silent-failure bookkeeping -----------------------------------------
     def mark_failed(self, node: NodeId) -> None:
         """Register ``node`` as silently dead from now on."""
+        if node not in self._failed_at and self._recorder is not None:
+            self._recorder.record("silent-fail", node=node)
         self._failed_at.setdefault(node, self._clock())
 
     def is_dead(self, node: NodeId) -> bool:
@@ -347,7 +361,12 @@ class FaultInjector:
         if failed_at is None or node in self._detected:
             return None
         self._detected.add(node)
-        return self._clock() - failed_at
+        latency = self._clock() - failed_at
+        if self._recorder is not None:
+            self._recorder.record(
+                "failure-detect", node=node, detail=f"latency={latency:.1f}"
+            )
+        return latency
 
     def undetected(self) -> tuple[NodeId, ...]:
         """Silently failed nodes no survivor has reported yet."""

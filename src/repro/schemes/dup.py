@@ -55,15 +55,18 @@ class DupScheme(PathCachingScheme):
         self._trackers: dict[NodeId, InterestPolicy] = {}
         self._leases: LeaseTable | None = None
         self._lease_expiries = 0
+        self._recorder = None
 
     def bind(self, sim) -> None:
         super().bind(sim)
+        self._recorder = getattr(sim, "recorder", None)
         self.protocol = DupProtocol(is_root=sim.is_root)
         self.maintenance = DupMaintenance(
             self.protocol,
             sim.tree,
             emit=self._emit_maintenance,
             charge=self._charge_maintenance,
+            recorder=self._recorder,
         )
         if sim.config.lease_ttl > 0:
             self._leases = LeaseTable(
@@ -77,6 +80,10 @@ class DupScheme(PathCachingScheme):
                 self._lease_expiry_loop(),
                 name=f"dup-lease-expiry-{sim.key}",
             )
+
+    def _record(self, kind: str, node=None, subject=None, detail="") -> None:
+        if self._recorder is not None:
+            self._recorder.record(kind, node, subject, detail)
 
     # -- interest ------------------------------------------------------------
     def tracker(self, node: NodeId) -> InterestPolicy:
@@ -118,11 +125,13 @@ class DupScheme(PathCachingScheme):
             # packet"); if it hits, defer to the next miss rather than
             # paying an explicit hop-by-hop walk.
             return []
+        self._record("subscribe", node=node, detail="query-arrival")
         return protocol.ensure_subscribed(node).upstream
 
     def _on_local_miss(self, node: NodeId) -> list[object]:
         if self.sim.is_root(node) or not self._should_subscribe(node):
             return []
+        self._record("subscribe", node=node, detail="local-miss")
         return self.protocol.ensure_subscribed(node).upstream
 
     def _should_subscribe(self, node: NodeId) -> bool:
@@ -170,6 +179,7 @@ class DupScheme(PathCachingScheme):
         # Figure 3 (D): the push is the natural moment to notice that the
         # node's interest lapsed during the last cycle.
         if self.protocol.is_subscribed(node) and not self.is_interested(node):
+            self._record("unsubscribe", node=node, detail="interest-lapse")
             result = self.protocol.drop_subscription(node)
             self._send_control(
                 node, result.upstream, trace_id=message.trace_id
@@ -276,6 +286,9 @@ class DupScheme(PathCachingScheme):
             return
         if self._leases is not None:
             self._leases.drop(reporter, suspect)
+        self._record(
+            "unsubscribe", node=reporter, subject=suspect, detail="suspected"
+        )
         result = self.protocol.step(reporter, Unsubscribe(suspect))
         self._send_control(reporter, result.upstream)
 
@@ -375,6 +388,7 @@ class DupScheme(PathCachingScheme):
 
     def _lease_expired(self, node: NodeId, entry: NodeId) -> None:
         self._lease_expiries += 1
+        self._record("lease-expiry", node=node, subject=entry)
         self._leases.drop(node, entry)
         # The suspicion routes to the full Section III-C repair when the
         # entry really is dead, or to local cleanup when it is alive.

@@ -32,12 +32,26 @@ class Sample:
 
 
 class Series:
-    """An append-only time series with simple summaries."""
+    """An append-only time series with simple summaries.
 
-    __slots__ = ("name", "_times", "_values")
+    ``max_samples`` bounds retention: when set, only the most recent
+    ``max_samples`` observations are kept (a sliding window), so a
+    probe sampled every few seconds of a week-long run stays
+    fixed-memory.  ``total_appended`` counts every observation ever
+    made, retained or not.  ``None`` keeps everything (the historical
+    behaviour).
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "max_samples", "total_appended", "_times", "_values")
+
+    def __init__(self, name: str, max_samples: Optional[int] = None):
+        if max_samples is not None and max_samples < 1:
+            raise ConfigError(
+                f"max_samples must be positive, got {max_samples}"
+            )
         self.name = name
+        self.max_samples = max_samples
+        self.total_appended = 0
         self._times: list[float] = []
         self._values: list[float] = []
 
@@ -49,6 +63,11 @@ class Series:
             )
         self._times.append(float(time))
         self._values.append(float(value))
+        self.total_appended += 1
+        if self.max_samples is not None and len(self._times) > self.max_samples:
+            excess = len(self._times) - self.max_samples
+            del self._times[:excess]
+            del self._values[:excess]
 
     @property
     def times(self) -> tuple[float, ...]:
@@ -77,7 +96,7 @@ class Series:
 
     def window(self, start: float, end: float) -> "Series":
         """The sub-series with ``start <= time <= end``."""
-        clipped = Series(self.name)
+        clipped = Series(self.name, max_samples=self.max_samples)
         for time, value in zip(self._times, self._values):
             if start <= time <= end:
                 clipped.append(time, value)
@@ -123,19 +142,27 @@ class Monitor:
         Seconds of simulated time between samples.
     start_at:
         Time of the first sample (defaults to one interval in).
+    max_samples:
+        Retention bound for every created series (sliding window of
+        the most recent samples).  Defaults to 4096; pass ``None`` for
+        the old unbounded behaviour.
     """
+
+    DEFAULT_MAX_SAMPLES = 4096
 
     def __init__(
         self,
         env: Environment,
         interval: float,
         start_at: Optional[float] = None,
+        max_samples: Optional[int] = DEFAULT_MAX_SAMPLES,
     ):
         if interval <= 0:
             raise ConfigError(f"interval must be positive, got {interval}")
         self._env = env
         self._interval = float(interval)
         self._start_at = float(start_at if start_at is not None else interval)
+        self._max_samples = max_samples
         self._probes: dict[str, Probe] = {}
         self._series: dict[str, Series] = {}
         self._started = False
@@ -145,7 +172,7 @@ class Monitor:
         if name in self._probes:
             raise ConfigError(f"probe {name!r} already registered")
         self._probes[name] = function
-        series = Series(name)
+        series = Series(name, max_samples=self._max_samples)
         self._series[name] = series
         if not self._started:
             self._started = True

@@ -1,0 +1,233 @@
+"""Tests for the protocol flight recorder.
+
+Three layers:
+
+- unit behaviour of the ring buffer (eviction, all-time counts, dumps,
+  anomaly naming);
+- the zero-perturbation guarantee — arming the recorder leaves a run
+  bit-identical;
+- the acceptance criterion — a chaos ``split`` run's recorded
+  failover/repair/partition events match the counters the engine and
+  the consistency auditor report in the result extras.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import flightrec
+from repro.engine import Simulation, SimulationConfig
+from repro.engine.chaos import get_scenario
+from repro.metrics.export import read_jsonl
+
+SMOKE = dict(
+    num_nodes=64,
+    duration=3600.0 * 2,
+    warmup=1800.0,
+    query_rate=3.0,
+)
+
+
+def fingerprint(result) -> str:
+    """Canonical JSON of a result, minus wall-clock and config (the
+    config legitimately differs by the ``flight_recorder`` flag)."""
+    record = dataclasses.asdict(result)
+    record.pop("wall_seconds")
+    record.pop("config")
+    return json.dumps(record, sort_keys=True, default=repr)
+
+
+class TestRecorderUnit:
+    def test_ring_evicts_but_counts_survive(self):
+        clock = iter(float(i) for i in range(100))
+        recorder = flightrec.FlightRecorder(
+            clock=lambda: next(clock), capacity=4
+        )
+        for i in range(10):
+            recorder.record("tree-graft", node=i)
+        assert len(recorder) == 4
+        assert recorder.total_recorded == 10
+        assert recorder.counts() == {"tree-graft": 10}
+        assert [event.node for event in recorder.events] == [6, 7, 8, 9]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            flightrec.FlightRecorder(clock=lambda: 0.0, capacity=0)
+
+    def test_records_and_dump(self, tmp_path):
+        recorder = flightrec.FlightRecorder(clock=lambda: 1.5)
+        recorder.record("subscribe", node=3, subject=None, detail="x")
+        path = tmp_path / "flight.jsonl"
+        written = recorder.dump(str(path))
+        assert written == 2  # summary header + one event
+        records = read_jsonl(str(path))
+        assert records[0]["type"] == "flight-summary"
+        assert records[0]["counts"] == {"subscribe": 1}
+        assert records[1] == {
+            "type": "flight-event",
+            "time": 1.5,
+            "kind": "subscribe",
+            "node": 3,
+            "subject": None,
+            "detail": "x",
+        }
+
+    def test_anomaly_derives_path_per_reason(self, tmp_path):
+        base = tmp_path / "flight.jsonl"
+        recorder = flightrec.FlightRecorder(
+            clock=lambda: 0.0, anomaly_path=str(base)
+        )
+        recorder.record("tree-prune", node=1)
+        written = recorder.anomaly("golden-mismatch")
+        assert written == str(tmp_path / "flight-golden-mismatch.jsonl")
+        assert read_jsonl(written)[0]["type"] == "flight-summary"
+        assert recorder.anomalies == {"golden-mismatch": 1}
+
+    def test_anomaly_without_dump_path_is_counted_but_unwritten(self):
+        recorder = flightrec.FlightRecorder(clock=lambda: 0.0)
+        previous = flightrec.set_dump_path(None)
+        try:
+            assert recorder.anomaly("whatever") is None
+        finally:
+            flightrec.set_dump_path(previous)
+        assert recorder.anomalies == {"whatever": 1}
+
+    def test_module_hook_tolerates_no_recorder(self):
+        previous = flightrec.LAST
+        flightrec.LAST = None
+        try:
+            assert flightrec.dump_anomaly("nothing") is None
+        finally:
+            flightrec.LAST = previous
+
+    def test_set_enabled_round_trips(self):
+        previous = flightrec.set_enabled(True)
+        try:
+            assert flightrec.ENABLED is True
+        finally:
+            flightrec.set_enabled(previous)
+
+
+class TestRecorderIsPureObserver:
+    """Arming the recorder must leave the run bit-identical."""
+
+    def run_one(self, armed: bool) -> str:
+        # Pin the process-wide default off so the unarmed lane stays
+        # unarmed even under CI's REPRO_FLIGHT=1 environment.
+        previous = flightrec.set_enabled(False)
+        try:
+            config = SimulationConfig(
+                scheme="dup", seed=5, flight_recorder=armed, **SMOKE
+            )
+            sim = Simulation(config)
+            result = sim.run()
+        finally:
+            flightrec.set_enabled(previous)
+        if armed:
+            assert sim.recorder is not None
+            assert sim.recorder.total_recorded > 0
+        else:
+            assert sim.recorder is None
+        return fingerprint(result)
+
+    def test_armed_run_bit_identical_to_unarmed(self):
+        assert self.run_one(False) == self.run_one(True)
+
+    def test_env_default_arms_the_recorder(self):
+        previous = flightrec.set_enabled(True)
+        try:
+            sim = Simulation(SimulationConfig(scheme="dup", seed=5, **SMOKE))
+            assert sim.recorder is not None
+        finally:
+            flightrec.set_enabled(previous)
+
+
+class TestChaosEventCounts:
+    """Acceptance: flight events reconcile with the engine's counters."""
+
+    def run_scenario(self, name: str, seed: int = 3):
+        config = get_scenario(name).apply(
+            SimulationConfig(
+                scheme="dup", seed=seed, flight_recorder=True, **SMOKE
+            )
+        )
+        sim = Simulation(config)
+        result = sim.run()
+        return sim, result
+
+    def test_split_repairs_match_auditor(self):
+        sim, result = self.run_scenario("split")
+        counts = sim.recorder.counts()
+        assert counts.get("audit-repair", 0) == result.extras["audit_repairs"]
+        assert (
+            counts.get("audit-detect", 0) == result.extras["audit_violations"]
+        )
+        assert (
+            counts.get("partition-open", 0)
+            == result.extras["partitions_started"]
+            == 1
+        )
+        assert counts.get("partition-heal", 0) == 1
+        assert counts.get("subscribe", 0) > 0
+
+    def test_regicide_promotion_events_match_failover(self):
+        sim, result = self.run_scenario("regicide")
+        counts = sim.recorder.counts()
+        promoted = int(bool(result.extras["failover_promoted"]))
+        assert counts.get("failover-promotion", 0) == promoted
+        # For DUP the tree re-roots exactly once per promotion.
+        assert counts.get("failover-reroot", 0) == promoted
+
+    def test_dump_flight_round_trips(self, tmp_path):
+        sim, _ = self.run_scenario("split")
+        path = tmp_path / "flight.jsonl"
+        written = sim.dump_flight(str(path))
+        records = read_jsonl(str(path))
+        assert written == len(records) == len(sim.recorder) + 1
+        header = records[0]
+        assert header["type"] == "flight-summary"
+        assert header["counts"] == sim.recorder.counts()
+        kinds = {record["kind"] for record in records[1:]}
+        assert "partition-open" in kinds
+
+    def test_unarmed_dump_is_a_noop(self, tmp_path):
+        previous = flightrec.set_enabled(False)
+        try:
+            sim = Simulation(SimulationConfig(scheme="dup", seed=1, **SMOKE))
+        finally:
+            flightrec.set_enabled(previous)
+        assert sim.dump_flight(str(tmp_path / "none.jsonl")) == 0
+
+
+class TestCliFlightDump:
+    def test_chaos_split_writes_flight_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "flight.jsonl"
+        code = main(
+            [
+                "chaos",
+                "split",
+                "--scheme",
+                "dup",
+                "--nodes",
+                "48",
+                "--duration",
+                "2700",
+                "--warmup",
+                "600",
+                "--seed",
+                "3",
+                "--flight-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flight records" in out
+        records = read_jsonl(str(path))
+        assert records[0]["type"] == "flight-summary"
+        assert any(r["type"] == "flight-event" for r in records[1:])

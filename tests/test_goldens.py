@@ -65,6 +65,12 @@ def check_golden(result, name: str, update: bool) -> None:
         path.write_text(text, encoding="utf-8")
         return
     expected = path.read_text(encoding="utf-8")
+    if text != expected:
+        # Flush the protocol flight recorder (when one is armed, e.g.
+        # CI's REPRO_FLIGHT leg) so the drifted run leaves a post-mortem.
+        from repro import flightrec
+
+        flightrec.dump_anomaly(f"golden-mismatch-{name}")
     assert text == expected, (
         f"{name} output drifted from its golden; if the change is "
         f"intended, rerun with --update-goldens and review the diff of "

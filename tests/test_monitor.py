@@ -109,6 +109,57 @@ class TestMonitor:
         assert series.values == (42.0,)
 
 
+class TestSeriesRetention:
+    """The unbounded-growth fix: Series.max_samples sliding window."""
+
+    def test_keeps_only_the_newest_samples(self):
+        series = Series("x", max_samples=3)
+        for t in range(10):
+            series.append(float(t), float(t * 2))
+        assert len(series) == 3
+        assert series.times == (7.0, 8.0, 9.0)
+        assert series.values == (14.0, 16.0, 18.0)
+        assert series.total_appended == 10
+        assert series.last.value == 18.0
+
+    def test_unbounded_by_default(self):
+        series = Series("x")
+        for t in range(5000):
+            series.append(float(t), 1.0)
+        assert len(series) == 5000
+        assert series.max_samples is None
+
+    def test_max_samples_validated(self):
+        with pytest.raises(ConfigError):
+            Series("x", max_samples=0)
+
+    def test_window_inherits_the_bound(self):
+        series = Series("x", max_samples=4)
+        for t in range(10):
+            series.append(float(t), float(t))
+        clipped = series.window(6.0, 9.0)
+        assert clipped.max_samples == 4
+        assert clipped.times == (6.0, 7.0, 8.0, 9.0)
+
+    def test_monitor_probes_are_bounded_by_default(self):
+        env = Environment()
+        monitor = Monitor(env, interval=1.0)
+        series = monitor.probe("x", lambda: env.now)
+        assert series.max_samples == Monitor.DEFAULT_MAX_SAMPLES
+        env.run(until=float(Monitor.DEFAULT_MAX_SAMPLES + 100))
+        assert len(series) == Monitor.DEFAULT_MAX_SAMPLES
+        assert series.total_appended > Monitor.DEFAULT_MAX_SAMPLES
+
+    def test_monitor_bound_is_configurable(self):
+        env = Environment()
+        monitor = Monitor(env, interval=1.0, max_samples=5)
+        series = monitor.probe("x", lambda: env.now)
+        env.run(until=20.0)
+        assert len(series) == 5
+        unbounded = Monitor(Environment(), interval=1.0, max_samples=None)
+        assert unbounded.probe("y", lambda: 0.0).max_samples is None
+
+
 class TestEngineIntegration:
     def test_probe_observes_simulation(self):
         config = SimulationConfig(

@@ -264,6 +264,40 @@ class TestTraceCollector:
             TraceCollector(clock=lambda: 0.0, keep=0)
 
 
+def check_trace_invariants(tracer):
+    for trace in tracer.traces():
+        assert trace.status in ("complete", "incomplete", "open")
+        delivered_queries = [
+            s for s in trace.spans_of(Category.QUERY)
+            if s.status == "delivered"
+        ]
+        # Request hops form a contiguous chain from the origin even
+        # when later nodes departed.
+        if delivered_queries:
+            assert delivered_queries[0].sender == trace.origin
+            for earlier, later in zip(
+                delivered_queries, delivered_queries[1:]
+            ):
+                assert later.sender == earlier.destination
+        if trace.status == "complete":
+            # The acceptance invariant: the reconstructed hop count
+            # equals the latency the recorder was told.
+            assert trace.request_hops == trace.latency_hops
+        elif trace.status == "incomplete":
+            # Abandoned: never recorded a latency, but the abandon
+            # time is known.  (The chain may end without a dropped
+            # span when a reply found its whole remaining path dead
+            # before the next hop was even attempted.)
+            assert trace.latency_hops is None
+            assert trace.completed_at is not None
+            assert not any(
+                s.category in ("query", "reply")
+                and s.status == "delivered"
+                and s.delivered_at > trace.completed_at
+                for s in trace.spans
+            ), "orphan hop delivered after the trace was abandoned"
+
+
 class TestTracingUnderChurn:
     """Traces stay orphan-free and consistent when path nodes depart."""
 
@@ -299,37 +333,7 @@ class TestTracingUnderChurn:
         self.check_invariants(tracer)
 
     def check_invariants(self, tracer):
-        for trace in tracer.traces():
-            assert trace.status in ("complete", "incomplete", "open")
-            delivered_queries = [
-                s for s in trace.spans_of(Category.QUERY)
-                if s.status == "delivered"
-            ]
-            # Request hops form a contiguous chain from the origin even
-            # when later nodes departed.
-            if delivered_queries:
-                assert delivered_queries[0].sender == trace.origin
-                for earlier, later in zip(
-                    delivered_queries, delivered_queries[1:]
-                ):
-                    assert later.sender == earlier.destination
-            if trace.status == "complete":
-                # The acceptance invariant: the reconstructed hop count
-                # equals the latency the recorder was told.
-                assert trace.request_hops == trace.latency_hops
-            elif trace.status == "incomplete":
-                # Abandoned: never recorded a latency, but the abandon
-                # time is known.  (The chain may end without a dropped
-                # span when a reply found its whole remaining path dead
-                # before the next hop was even attempted.)
-                assert trace.latency_hops is None
-                assert trace.completed_at is not None
-                assert not any(
-                    s.category in ("query", "reply")
-                    and s.status == "delivered"
-                    and s.delivered_at > trace.completed_at
-                    for s in trace.spans
-                ), "orphan hop delivered after the trace was abandoned"
+        check_trace_invariants(tracer)
 
     def test_completed_traces_biject_with_recorder(self):
         sim, tracer, result = self.run_churny("dup")
@@ -339,3 +343,113 @@ class TestTracingUnderChurn:
         assert sorted(tracer.latencies) == sorted(sim.latency.samples)
         begun = tracer.completed + tracer.incomplete + tracer.open_count
         assert begun == tracer._next_id - 1
+
+
+class TestTracingAcrossFailoverAndRepair:
+    """Trace-id inheritance beyond the steady state: control payloads
+    keep their carrier's trace id hop by hop, traces stay bijective
+    with the latency recorder across an authority failover re-root
+    (``promote_to_root``), and auditor-initiated repairs run as
+    untraced background flows that never bleed into query traces."""
+
+    def test_subscribe_control_inherits_the_carrier_trace(self):
+        # Deterministic chain: the third query carries the subscribe up
+        # the whole chain, and every hop that processes it annotates
+        # the SAME trace — the id is inherited, not re-minted.
+        sim, tracer = traced_chain_sim("dup")
+        sim.scheme.on_local_query(5)  # miss: interest noted
+        sim.env.run(until=3550.0)
+        sim.scheme.on_local_query(5)  # hit: threshold crossed
+        sim.env.run(until=3650.0)
+        sim.scheme.on_local_query(5)  # miss: subscribe rides the request
+        sim.env.run(until=3700.0)
+        subscribed = [
+            trace
+            for trace in tracer.traces()
+            if any(n.event == "dup.subscribe" for n in trace.annotations)
+        ]
+        assert len(subscribed) == 1, "subscribe attributed to >1 trace"
+        trace = subscribed[0]
+        nodes = [
+            note.node
+            for note in trace.annotations
+            if note.event == "dup.subscribe"
+        ]
+        assert nodes == [4, 3, 2, 1, 0]
+        # The annotated trace is the query that carried the payload.
+        assert trace.origin == 5
+        assert trace.status == "complete"
+
+    def run_failover(self):
+        config = SimulationConfig(
+            scheme="dup",
+            num_nodes=48,
+            query_rate=3.0,
+            ttl=600.0,
+            push_lead=60.0,
+            duration=3600.0,
+            warmup=600.0,
+            threshold_c=2,
+            seed=11,
+            authority_standbys=2,
+            failover_timeout=120.0,
+            authority_crash_at=1500.0,
+        )
+        sim = Simulation(config)
+        tracer = sim.enable_tracing()
+        result = sim.run()
+        return sim, tracer, result
+
+    def test_traces_consistent_across_failover_rerooting(self):
+        sim, tracer, result = self.run_failover()
+        promoted = result.extras["failover_promoted"]
+        assert promoted >= 0
+        assert sim.tree.root == promoted
+        # The recorder bijection survives the re-root: no query is lost
+        # or double-counted while the tree changes authority mid-run.
+        assert tracer.completed == sim.latency.count
+        assert sorted(tracer.latencies) == sorted(sim.latency.samples)
+        failover_at = result.extras["failover_at"]
+        post = [
+            trace
+            for trace in tracer.traces("complete")
+            if trace.issued_at > failover_at
+        ]
+        assert post, "no queries completed after the re-root"
+        check_trace_invariants(tracer)
+
+    def test_auditor_repairs_stay_out_of_query_traces(self):
+        config = SimulationConfig(
+            scheme="dup",
+            num_nodes=96,
+            query_rate=2.0,
+            hop_latency_mean=15.0,
+            ttl=600.0,
+            duration=12_000.0,
+            warmup=1_000.0,
+            threshold_c=2,
+            seed=7,
+            audit_interval=300.0,
+            churn=ChurnConfig(
+                join_rate=0.04, leave_rate=0.02, fail_rate=0.02
+            ),
+        )
+        sim = Simulation(config)
+        tracer = sim.enable_tracing()
+        result = sim.run()
+        # The sweeps actually repaired something, and the bijection with
+        # the latency recorder held while they did.
+        assert result.extras["audit_repairs"] > 0
+        assert tracer.completed == sim.latency.count
+        assert sorted(tracer.latencies) == sorted(sim.latency.samples)
+        check_trace_invariants(tracer)
+        events = {
+            note.event
+            for trace in tracer.traces()
+            for note in trace.annotations
+        }
+        # Query-carried control still annotates its carrier's trace...
+        assert "dup.subscribe" in events
+        # ... but auditor rewalks travel as background control with no
+        # carrier trace, so they never annotate any query's trace.
+        assert "dup.refreshsubscribe" not in events

@@ -1,0 +1,217 @@
+"""Tests for the fixed-memory streaming telemetry (metrics.windows).
+
+Covers the bounded reservoir (exact first-order stats under
+deterministic decimation), the mergeable time buckets, the
+tree-evolution timeline, and the acceptance criterion: a churny run's
+windowed tree-depth timeline is reconstructible from a JSONL export
+while memory stays bounded by the window count, not the run length.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine import Simulation, SimulationConfig
+from repro.errors import ConfigError
+from repro.metrics.export import read_jsonl, write_jsonl
+from repro.metrics.windows import (
+    TimeBuckets,
+    TreeTimeline,
+    WindowedReservoir,
+    reconstruct_series,
+)
+from repro.workload.churn import ChurnConfig
+
+
+class TestWindowedReservoir:
+    def test_exact_stats_survive_decimation(self):
+        reservoir = WindowedReservoir(capacity=64)
+        values = [float(i % 37) for i in range(10_000)]
+        for value in values:
+            reservoir.observe(value)
+        assert reservoir.count == 10_000
+        assert reservoir.mean == pytest.approx(sum(values) / len(values))
+        assert reservoir.minimum == min(values)
+        assert reservoir.maximum == max(values)
+        assert len(reservoir.samples) <= 64
+        # Stride doubles on every halving: always a power of two.
+        assert reservoir.stride & (reservoir.stride - 1) == 0
+        assert reservoir.stride > 1
+
+    def test_decimation_is_deterministic(self):
+        a, b = WindowedReservoir(capacity=16), WindowedReservoir(capacity=16)
+        for i in range(1000):
+            a.observe(float(i))
+            b.observe(float(i))
+        assert a.samples == b.samples
+        assert a.stride == b.stride
+
+    def test_percentiles_from_reservoir(self):
+        reservoir = WindowedReservoir(capacity=512)
+        for i in range(101):
+            reservoir.observe(float(i))
+        assert reservoir.percentile(0) == 0.0
+        assert reservoir.percentile(100) == 100.0
+        assert reservoir.percentile(50) == pytest.approx(50.0)
+        assert reservoir.percentile(95) == pytest.approx(95.0, abs=1.0)
+
+    def test_empty_reservoir_is_nan(self):
+        reservoir = WindowedReservoir()
+        assert math.isnan(reservoir.mean)
+        assert math.isnan(reservoir.percentile(50))
+
+    def test_merge_keeps_exact_stats(self):
+        a, b = WindowedReservoir(capacity=32), WindowedReservoir(capacity=32)
+        for i in range(200):
+            a.observe(float(i))
+        for i in range(200, 500):
+            b.observe(float(i))
+        merged = a.merge(b)
+        assert merged.count == 500
+        assert merged.mean == pytest.approx(sum(range(500)) / 500)
+        assert merged.minimum == 0.0
+        assert merged.maximum == 499.0
+        assert len(merged.samples) <= 32
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            WindowedReservoir(capacity=1)
+
+
+class TestTimeBuckets:
+    def test_bucketing_by_floor(self):
+        buckets = TimeBuckets(width=10.0)
+        buckets.observe(3.0, 1.0)
+        buckets.observe(9.9, 3.0)
+        buckets.observe(10.0, 5.0)
+        starts = [bucket.start for bucket in buckets.buckets]
+        assert starts == [0.0, 10.0]
+        first = buckets.buckets[0]
+        assert first.count == 2
+        assert first.mean == 2.0
+        assert first.last == 3.0
+
+    def test_retention_is_bounded(self):
+        buckets = TimeBuckets(width=1.0, max_buckets=8)
+        for t in range(100):
+            buckets.observe(float(t), float(t))
+        assert len(buckets) == 8
+        assert buckets.evicted == 92
+        # The survivors are the newest windows.
+        assert [b.start for b in buckets.buckets] == [
+            float(t) for t in range(92, 100)
+        ]
+
+    def test_merge_absorbs_same_start_windows(self):
+        a, b = TimeBuckets(width=10.0), TimeBuckets(width=10.0)
+        a.observe(5.0, 1.0)
+        b.observe(6.0, 3.0)
+        b.observe(15.0, 7.0)
+        merged = a.merge(b)
+        assert len(merged) == 2
+        first = merged.buckets[0]
+        assert first.count == 2
+        assert first.mean == 2.0
+
+    def test_merge_rejects_width_mismatch(self):
+        with pytest.raises(ConfigError):
+            TimeBuckets(width=10.0).merge(TimeBuckets(width=20.0))
+
+    def test_series_stats(self):
+        buckets = TimeBuckets(width=10.0)
+        buckets.observe(1.0, 2.0)
+        buckets.observe(2.0, 4.0)
+        assert buckets.series("mean") == [(0.0, 3.0)]
+        assert buckets.series("maximum") == [(0.0, 4.0)]
+
+
+class TestTreeTimeline:
+    def test_observe_and_series(self):
+        timeline = TreeTimeline(window=10.0)
+        timeline.observe("tree-depth", 5.0, 3.0)
+        timeline.observe("tree-depth", 15.0, 4.0)
+        assert timeline.series("tree-depth", "last") == [
+            (0.0, 3.0),
+            (10.0, 4.0),
+        ]
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigError):
+            TreeTimeline().buckets("no-such-metric")
+
+    def test_merge_requires_same_window(self):
+        with pytest.raises(ConfigError):
+            TreeTimeline(window=10.0).merge(TreeTimeline(window=20.0))
+
+    def test_records_round_trip(self, tmp_path):
+        timeline = TreeTimeline(window=10.0)
+        for t in range(5):
+            timeline.observe("tree-depth", float(t * 10), float(t))
+        path = tmp_path / "timeline.jsonl"
+        write_jsonl(str(path), timeline.records())
+        restored = reconstruct_series(
+            read_jsonl(str(path)), "tree-depth", "last"
+        )
+        assert restored == timeline.series("tree-depth", "last")
+
+
+class TestTimelineUnderChurn:
+    """Acceptance: a churny run's tree-depth timeline is reconstructible
+    from its JSONL export, with memory bounded by the window count even
+    when the run spans far more windows than the retention cap."""
+
+    def make_sim(self):
+        config = SimulationConfig(
+            scheme="dup",
+            num_nodes=64,
+            duration=7200.0,
+            warmup=600.0,
+            query_rate=2.0,
+            seed=7,
+            churn=ChurnConfig(join_rate=0.02, leave_rate=0.02),
+        )
+        return Simulation(config)
+
+    def test_timeline_bounded_and_reconstructible(self, tmp_path):
+        sim = self.make_sim()
+        # 7200 s / 60 s window = 120 samples >> 16 retained buckets.
+        timeline = sim.enable_timeline(window=60.0, max_buckets=16)
+        sim.run()
+        assert timeline.samples_taken >= 100
+        depth = timeline.buckets("tree-depth")
+        assert len(depth) <= 16
+        assert depth.evicted > 0
+        assert "subscribers" in timeline.metrics
+        assert "interior-load" in timeline.metrics
+
+        path = tmp_path / "telemetry.jsonl"
+        write_jsonl(str(path), timeline.records())
+        restored = reconstruct_series(
+            read_jsonl(str(path)), "tree-depth", "last"
+        )
+        assert restored == timeline.series("tree-depth", "last")
+        assert len(restored) == len(depth)
+
+    def test_enable_timeline_is_idempotent(self):
+        sim = self.make_sim()
+        first = sim.enable_timeline(window=60.0)
+        assert sim.enable_timeline(window=600.0) is first
+        assert sim.timeline is first
+
+    def test_timeline_is_a_pure_observer(self):
+        """Enabling a timeline must not perturb the simulation."""
+        import dataclasses
+        import json
+
+        def run(enable):
+            sim = self.make_sim()
+            if enable:
+                sim.enable_timeline(window=60.0)
+            result = sim.run()
+            record = dataclasses.asdict(result)
+            record.pop("wall_seconds")
+            return json.dumps(record, sort_keys=True, default=repr)
+
+        assert run(False) == run(True)
