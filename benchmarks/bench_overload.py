@@ -1,0 +1,15 @@
+"""Benchmark: the overload study (storm-intensity sweep, all variants)."""
+
+from repro.experiments import overload_study
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_overload_study(benchmark):
+    results = run_experiment(
+        benchmark,
+        overload_study.run,
+        scale="quick",
+        replications=1,
+    )
+    assert_shapes(results)

@@ -19,6 +19,11 @@ bit-identical to the committed ``tests/goldens/figure4_smoke.json``.
 An armed recorder that drifts a single float fails here before it can
 corrupt a science run.
 
+A third leg guards the overload layer's off-is-off contract the same
+way: the figure4 smoke experiment is rerun with a present-but-disabled
+:class:`~repro.net.overload.OverloadPlan` attached to every config, and
+the canonical output must still match the same golden bit for bit.
+
 Environment overrides:
 
 - ``PERF_SMOKE_BASELINE`` — baseline wall seconds (default: the newest
@@ -138,6 +143,46 @@ def _telemetry_overhead_leg() -> int:
     return 0
 
 
+def _overload_off_identity_leg() -> int:
+    """A present-but-disabled OverloadPlan must not move a single bit.
+
+    ``figure4.run`` builds its configs through its module-bound
+    ``base_config``, so the leg rebinds that name to a wrapper attaching
+    an all-default (disabled) plan — the closest a stock experiment can
+    get to "the layer is compiled in but off".
+    """
+    from repro.experiments import figure4_arrival_rate as fig4
+    from repro.net.overload import OverloadPlan
+
+    canonical = _canonical()
+    expected = GOLDEN.read_text(encoding="utf-8")
+    original = fig4.base_config
+
+    def with_disabled_overload(scale, **kwargs):
+        return original(scale, **kwargs).replace(overload=OverloadPlan())
+
+    fig4.base_config = with_disabled_overload
+    start = time.perf_counter()
+    try:
+        result = fig4.run(
+            scale="smoke", replications=1, seed=1, rates=(1.0, 10.0)
+        )
+    finally:
+        fig4.base_config = original
+    wall = time.perf_counter() - start
+    if canonical(result) != expected:
+        print(
+            "perf-smoke: overload leg FAILED — a disabled overload plan "
+            f"drifted the run from {GOLDEN.name}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"perf-smoke: overload-off run bit-identical to golden ({wall:.2f}s)"
+    )
+    return 0
+
+
 def main() -> int:
     budget = float(os.environ.get("PERF_SMOKE_BUDGET", "2.0"))
     baseline = _baseline()
@@ -151,7 +196,7 @@ def main() -> int:
     if wall > limit:
         _write_profile()
         return 1
-    return _telemetry_overhead_leg()
+    return _telemetry_overhead_leg() or _overload_off_identity_leg()
 
 
 if __name__ == "__main__":

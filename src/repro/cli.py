@@ -170,6 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_fault_arguments(sim_parser)
+    _add_overload_arguments(sim_parser)
     _add_telemetry_arguments(sim_parser)
 
     observe_parser = subparsers.add_parser(
@@ -261,6 +262,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos_parser.add_argument("--seed", type=int, default=1)
     _add_fault_arguments(chaos_parser)
+    _add_overload_arguments(chaos_parser)
     _add_telemetry_arguments(chaos_parser)
 
     top_parser = subparsers.add_parser(
@@ -384,6 +386,15 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
         help="initial ack timeout in simulated seconds (default: 2)",
     )
     group.add_argument(
+        "--retry-timeout-cap",
+        type=float,
+        default=0.0,
+        help=(
+            "ceiling on the exponential retry backoff in simulated "
+            "seconds (0: uncapped)"
+        ),
+    )
+    group.add_argument(
         "--lease-ttl",
         type=float,
         default=0.0,
@@ -445,6 +456,146 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_overload_arguments(parser: argparse.ArgumentParser) -> None:
+    """Overload-layer / storm flags shared by ``simulate`` and ``chaos``."""
+    group = parser.add_argument_group("overload")
+    group.add_argument(
+        "--service-rate",
+        type=float,
+        default=0.0,
+        help=(
+            "per-node message service rate in messages/second; enables "
+            "the bounded priority inboxes (0 keeps the instant-service "
+            "model and the whole overload layer off)"
+        ),
+    )
+    group.add_argument(
+        "--inbox-capacity",
+        type=int,
+        default=64,
+        help="queued messages per node inbox (default: 64)",
+    )
+    group.add_argument(
+        "--max-subscribers",
+        type=int,
+        default=0,
+        help=(
+            "graceful-degradation fanout cap: DUP interior nodes refuse "
+            "fresh subscribers past this many branches, CUP caps its "
+            "registration tables (0: uncapped)"
+        ),
+    )
+    group.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=0,
+        help=(
+            "consecutive delivery failures before a per-peer circuit "
+            "breaker trips (0 disables breakers)"
+        ),
+    )
+    group.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=60.0,
+        help=(
+            "seconds an open breaker waits before its half-open probe "
+            "(default: 60)"
+        ),
+    )
+    group.add_argument(
+        "--coalesce-gap",
+        type=float,
+        default=0.0,
+        help=(
+            "minimum gap between forced authority updates; faster "
+            "force_update calls coalesce into one deferred issue "
+            "(0 disables)"
+        ),
+    )
+    group.add_argument(
+        "--storm",
+        action="append",
+        default=None,
+        metavar="KIND",
+        choices=("flash-crowd", "update-storm", "thrash"),
+        help=(
+            "inject an overload storm phase (repeatable); shaped by the "
+            "--storm-* flags, which apply to every phase"
+        ),
+    )
+    group.add_argument(
+        "--storm-start",
+        type=float,
+        default=0.0,
+        help="storm phase onset in simulated seconds (default: warmup)",
+    )
+    group.add_argument(
+        "--storm-duration",
+        type=float,
+        default=0.0,
+        help=(
+            "storm phase length in simulated seconds (default: the "
+            "post-warmup window)"
+        ),
+    )
+    group.add_argument(
+        "--storm-rate",
+        type=float,
+        default=1.0,
+        help="storm events per simulated second (default: 1)",
+    )
+    group.add_argument(
+        "--storm-rank-flips",
+        type=int,
+        default=8,
+        help="flash-crowd: nodes promoted to the Zipf head (default: 8)",
+    )
+    group.add_argument(
+        "--storm-burst",
+        type=int,
+        default=0,
+        help="thrash: queries per burst (default: threshold_c + 1)",
+    )
+
+
+def _overload_overrides(args: argparse.Namespace) -> dict:
+    """SimulationConfig overrides from the overload/storm flags."""
+    from repro.net.overload import OverloadPlan
+    from repro.workload.storms import StormPhase, StormPlan
+
+    overrides: dict = {}
+    plan = OverloadPlan(
+        inbox_capacity=args.inbox_capacity,
+        service_rate=args.service_rate,
+        max_subscribers=args.max_subscribers,
+        authority_coalesce_gap=args.coalesce_gap,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+    )
+    if plan.enabled:
+        overrides["overload"] = plan
+    if args.storm:
+        start = args.storm_start or args.warmup
+        duration = args.storm_duration or max(
+            args.duration - start, 1.0
+        )
+        overrides["storms"] = StormPlan(
+            phases=tuple(
+                StormPhase(
+                    kind=kind,
+                    start=start,
+                    duration=duration,
+                    rate=args.storm_rate,
+                    rank_flips=args.storm_rank_flips,
+                    burst=args.storm_burst,
+                )
+                for kind in args.storm
+            )
+        )
+    return overrides
+
+
 def _fault_overrides(args: argparse.Namespace) -> dict:
     """SimulationConfig overrides from the resilience flags."""
     from repro.net.faults import FaultPlan, PartitionWindow
@@ -470,6 +621,8 @@ def _fault_overrides(args: argparse.Namespace) -> dict:
     if args.retry_budget > 0:
         overrides["retry_budget"] = args.retry_budget
         overrides["ack_timeout"] = args.ack_timeout
+        if args.retry_timeout_cap > 0:
+            overrides["retry_timeout_cap"] = args.retry_timeout_cap
     if args.lease_ttl > 0:
         overrides["lease_ttl"] = args.lease_ttl
     if args.standbys > 0:
@@ -602,6 +755,7 @@ def _instrumented_run(
 
 def _command_simulate(args: argparse.Namespace) -> int:
     overrides = _fault_overrides(args)
+    overrides.update(_overload_overrides(args))
     if args.churn_rate > 0:
         from repro.workload.churn import ChurnConfig
 
@@ -734,6 +888,8 @@ def _command_chaos(args: argparse.Namespace) -> int:
             print(f"  {name:10s} {SCENARIOS[name].description}")
         return 0
     scenario = get_scenario(args.scenario)
+    overrides = _fault_overrides(args)
+    overrides.update(_overload_overrides(args))
     config = SimulationConfig(
         scheme=args.scheme,
         num_nodes=args.nodes,
@@ -747,7 +903,7 @@ def _command_chaos(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         topology=args.topology,
         seed=args.seed,
-        **_fault_overrides(args),
+        **overrides,
     )
     config = scenario.apply(config)
     print(f"scenario: {scenario.name} -- {scenario.description}")

@@ -27,13 +27,19 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.engine.config import SimulationConfig
 from repro.errors import ConfigError
 from repro.net.faults import FaultPlan, PartitionWindow
+from repro.net.overload import OverloadPlan
+from repro.workload.storms import StormPhase, StormPlan
 
 #: (start offset after warm-up, duration, components) per window.
 PartitionSpec = tuple[float, float, int]
+
+#: (kind, start offset after warm-up, duration, rate) per storm phase.
+StormSpec = tuple[str, float, float, float]
 
 
 @dataclass(frozen=True)
@@ -65,6 +71,14 @@ class ChaosScenario:
         the scenario crashes the authority.
     audit_interval:
         Cadence of the consistency auditor (0 leaves it off).
+    overload:
+        An :class:`~repro.net.overload.OverloadPlan` the scenario arms
+        (None leaves whatever the config carries; a config that already
+        has one keeps its own).
+    storms:
+        Overload storm phases as ``(kind, offset, duration, rate)``
+        tuples, offset from warm-up like partitions; appended to any
+        phases the config already schedules.
     """
 
     name: str
@@ -76,6 +90,8 @@ class ChaosScenario:
     standbys: int = 0
     failover_timeout: float = 120.0
     audit_interval: float = 0.0
+    overload: Optional[OverloadPlan] = None
+    storms: tuple[StormSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.crash_offset is not None and self.standbys < 1:
@@ -94,6 +110,8 @@ class ChaosScenario:
             and not self.silent_failures
             and self.standbys == 0
             and self.audit_interval == 0.0
+            and self.overload is None
+            and not self.storms
         )
 
     def apply(self, config: SimulationConfig) -> SimulationConfig:
@@ -159,6 +177,33 @@ class ChaosScenario:
                 if config.audit_interval == 0
                 else min(config.audit_interval, self.audit_interval)
             )
+        if self.overload is not None and config.overload is None:
+            changes["overload"] = self.overload
+        if self.storms:
+            phases = tuple(
+                StormPhase(
+                    kind=kind,
+                    start=config.warmup + offset,
+                    duration=duration,
+                    rate=rate,
+                )
+                for kind, offset, duration, rate in self.storms
+            )
+            for phase in phases:
+                if phase.end > config.duration:
+                    raise ConfigError(
+                        f"scenario {self.name!r}: storm ends at "
+                        f"{phase.end:g}s, past the horizon "
+                        f"({config.duration:g}s)"
+                    )
+            base_phases = (
+                config.storms.phases if config.storms is not None else ()
+            )
+            changes["storms"] = StormPlan(
+                phases=tuple(
+                    sorted(base_phases + phases, key=lambda p: p.start)
+                )
+            )
         return config.replace(**changes)
 
 
@@ -213,6 +258,26 @@ SCENARIOS: dict[str, ChaosScenario] = {
             standbys=2,
             failover_timeout=120.0,
             audit_interval=150.0,
+        ),
+        ChaosScenario(
+            name="stampede",
+            description=(
+                "overload storm: a flash crowd plus an authority update "
+                "storm against bounded priority inboxes, breakers, a "
+                "fanout cap, and update coalescing"
+            ),
+            overload=OverloadPlan(
+                inbox_capacity=48,
+                service_rate=1.5,
+                max_subscribers=3,
+                authority_coalesce_gap=30.0,
+                breaker_threshold=3,
+                breaker_cooldown=120.0,
+            ),
+            storms=(
+                ("flash-crowd", 120.0, 1800.0, 12.0),
+                ("update-storm", 300.0, 1500.0, 1.0),
+            ),
         ),
     )
 }

@@ -16,7 +16,9 @@ from typing import Optional
 
 from repro.errors import ConfigError
 from repro.net.faults import FaultPlan
+from repro.net.overload import OverloadPlan
 from repro.workload.churn import ChurnConfig
+from repro.workload.storms import StormPlan
 
 TOPOLOGIES = ("random-tree", "chord", "can", "balanced", "chain", "star")
 ARRIVALS = ("exponential", "pareto")
@@ -135,6 +137,23 @@ class SimulationConfig:
         (:mod:`repro.core.auditor`), which re-checks the DUP tree
         invariants and repairs divergence left behind by partitions and
         failovers (0 disables; only DUP-family schemes are audited).
+    retry_timeout_cap:
+        Upper bound on any single retransmission timeout of the
+        reliable channel (0, the default, leaves the exponential
+        backoff uncapped).  With a cap, attempt ``k`` waits
+        ``min(ack_timeout * retry_backoff**k, retry_timeout_cap)``.
+    overload:
+        Optional :class:`~repro.net.overload.OverloadPlan`: bounded
+        priority-classed per-node inboxes with deterministic shedding,
+        per-peer circuit breakers, DUP/CUP subscriber caps, and
+        authority update coalescing.  ``None`` (or an all-default
+        plan) keeps the run bit-identical to a build without the
+        overload layer.
+    storms:
+        Optional :class:`~repro.workload.storms.StormPlan`: adversarial
+        overload workloads (flash crowds, authority update storms,
+        subscribe/unsubscribe thrash) layered on top of the base
+        arrivals.  ``None`` or an empty plan injects nothing.
     flight_recorder:
         Arm the protocol flight recorder (:mod:`repro.flightrec`): a
         bounded ring buffer of structured protocol events (tree
@@ -181,6 +200,9 @@ class SimulationConfig:
     failover_timeout: float = 120.0
     authority_crash_at: float = 0.0
     audit_interval: float = 0.0
+    retry_timeout_cap: float = 0.0
+    overload: Optional[OverloadPlan] = field(default=None)
+    storms: Optional[StormPlan] = field(default=None)
     flight_recorder: bool = False
     flight_capacity: int = 4096
 
@@ -295,6 +317,20 @@ class SimulationConfig:
             raise ConfigError(
                 f"audit_interval must be >= 0, got {self.audit_interval}"
             )
+        if self.retry_timeout_cap < 0:
+            raise ConfigError(
+                "retry_timeout_cap must be >= 0, got "
+                f"{self.retry_timeout_cap}"
+            )
+        if 0 < self.retry_timeout_cap < self.ack_timeout:
+            raise ConfigError(
+                f"retry_timeout_cap ({self.retry_timeout_cap}) must be "
+                f">= ack_timeout ({self.ack_timeout})"
+            )
+        if self.overload is not None:
+            self.overload.validate()
+        if self.storms is not None:
+            self.storms.validate()
         if self.flight_capacity < 1:
             raise ConfigError(
                 f"flight_capacity must be >= 1, got {self.flight_capacity}"

@@ -84,6 +84,8 @@ class ProgressEvent:
     inside simulations so far.  ``mean_latency`` / ``cost_per_query``
     mirror the finished trial's headline numbers (NaN on failure) so a
     dashboard can plot rolling divergence/cost without the full result.
+    ``shed_fraction`` / ``max_queue_depth`` surface the overload layer's
+    gauges (NaN when the trial ran without one).
     """
 
     kind: str  # "trial-done" | "trial-failed"
@@ -99,6 +101,8 @@ class ProgressEvent:
     utilization: float
     mean_latency: float = math.nan
     cost_per_query: float = math.nan
+    shed_fraction: float = math.nan
+    max_queue_depth: float = math.nan
     error: str = ""
 
     def to_record(self) -> dict:
@@ -340,6 +344,7 @@ class ParallelRunner:
         self, done: int, total: int, spec: TrialSpec, result: SimulationResult
     ) -> None:
         self._busy_seconds += result.wall_seconds
+        extras = result.extras
         self._emit_event(
             kind="trial-done",
             spec=spec,
@@ -348,6 +353,10 @@ class ParallelRunner:
             wall_seconds=result.wall_seconds,
             mean_latency=result.mean_latency,
             cost_per_query=result.cost_per_query,
+            shed_fraction=float(extras.get("shed_fraction", math.nan)),
+            max_queue_depth=float(
+                extras.get("max_queue_depth", math.nan)
+            ),
         )
         progress = (
             self._progress if self._progress is not None else _default_progress
@@ -368,6 +377,8 @@ class ParallelRunner:
         wall_seconds: float,
         mean_latency: float = math.nan,
         cost_per_query: float = math.nan,
+        shed_fraction: float = math.nan,
+        max_queue_depth: float = math.nan,
         error: str = "",
     ) -> None:
         sink = (
@@ -402,6 +413,8 @@ class ParallelRunner:
                 utilization=utilization,
                 mean_latency=mean_latency,
                 cost_per_query=cost_per_query,
+                shed_fraction=shed_fraction,
+                max_queue_depth=max_queue_depth,
                 error=error,
             )
         )

@@ -54,6 +54,8 @@ class SimulationResult:
             hop_breakdown=self.hop_breakdown,
             latency_percentiles=self.latency_percentiles,
             dropped=self.dropped_messages,
+            give_ups=int(self.extras.get("delivery_give_ups", 0)),
+            stale_read_fraction=self.stale_read_fraction,
         )
 
     def __str__(self) -> str:

@@ -22,6 +22,7 @@ query's causal chain from the transport observer tap.
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Optional
 
@@ -45,6 +46,7 @@ from repro.net.message import (
     Message,
     ReplyMessage,
 )
+from repro.net.overload import OverloadManager, build_manager
 from repro.net.reliable import ReliableChannel
 from repro.net.transport import Transport, TransportEvent
 from repro.schemes.registry import make_scheme
@@ -64,6 +66,7 @@ from repro.topology.tree import SearchTree
 from repro.workload.arrivals import make_arrival_process
 from repro.workload.churn import ChurnEvent, ChurnProcess
 from repro.workload.selection import ZipfNodeSelector
+from repro.workload.storms import StormEngine
 
 NodeId = int
 
@@ -126,9 +129,33 @@ class Simulation:
                 retry_budget=config.retry_budget,
                 base_timeout=config.ack_timeout,
                 backoff=config.retry_backoff,
+                timeout_cap=(
+                    config.retry_timeout_cap
+                    if config.retry_timeout_cap > 0
+                    else math.inf
+                ),
                 on_give_up=self._on_delivery_give_up,
                 functioning=self.functioning,
             )
+        # -- overload layer: like the fault injector, only constructed
+        # when the plan enables something, so a run without it is
+        # bit-identical to a build without the layer.
+        self.overload: Optional[OverloadManager] = build_manager(
+            env=self.env,
+            plan=config.overload,
+            deliver=self._dispatch_queued,
+            recorder=self.recorder,
+        )
+        # One-attribute hot-path check: the inbox model only intercepts
+        # dispatch when a service rate is configured.
+        self._inbox_admit = (
+            self.overload.admit
+            if self.overload is not None and self.overload.plan.inboxes_enabled
+            else None
+        )
+        self.storms: Optional[StormEngine] = None
+        if config.storms is not None and config.storms.enabled:
+            self.storms = StormEngine(self, config.storms)
         self._caches: dict[NodeId, IndexCache] = {}
         self._past_warmup = config.warmup <= 0.0
         self._incomplete = 0
@@ -242,6 +269,26 @@ class Simulation:
             registry.gauge("reliable.acked", lambda: channel.acked)
             registry.gauge("reliable.give_ups", lambda: channel.give_ups)
             registry.gauge("reliable.outstanding", lambda: channel.outstanding)
+        overload = self.overload
+        if overload is not None:
+            registry.gauge(
+                "overload.shed_fraction", lambda: overload.shed_fraction
+            )
+            registry.gauge(
+                "overload.shed_total", lambda: float(overload.shed_total)
+            )
+            registry.gauge(
+                "overload.max_queue_depth",
+                lambda: float(overload.max_queue_depth),
+            )
+            registry.gauge(
+                "overload.breaker_trips",
+                lambda: float(overload.breaker_trips),
+            )
+            registry.gauge(
+                "overload.pushes_coalesced",
+                lambda: float(overload.pushes_coalesced),
+            )
         if self.config.lease_ttl > 0 and hasattr(
             self.scheme, "lease_expiries"
         ):
@@ -455,6 +502,14 @@ class Simulation:
     ) -> None:
         if not self.functioning(sender):
             return  # the reporter died while its last timer was pending
+        overload = self.overload
+        if overload is not None and overload.plan.breakers_enabled:
+            # With breakers, a give-up feeds the breaker instead of the
+            # insta-suspicion path: an overloaded (not dead) peer keeps
+            # its subscriptions; sends to it are suppressed until the
+            # half-open probe finds it answering again.
+            overload.record_failure(sender, destination, reason="give-up")
+            return
         self.suspect_peer(sender, destination)
 
     def _observe_fault_drops(self, event: TransportEvent) -> None:
@@ -664,6 +719,25 @@ class Simulation:
             if isinstance(message, ReplyMessage):
                 self.note_incomplete_query()
             return
+        admit = self._inbox_admit
+        if admit is not None and not admit(destination, message):
+            return  # queued for later service (or shed) by the inbox
+        self._dispatch_now(destination, message)
+
+    def _dispatch_queued(self, destination: NodeId, message: Message) -> None:
+        """Deliver a message the overload inbox held back until now.
+
+        The destination may have departed while the message sat queued;
+        the membership check must run again at service time.
+        """
+        if destination not in self.tree:
+            self.transport.drop(message, destination=destination)
+            if isinstance(message, ReplyMessage):
+                self.note_incomplete_query()
+            return
+        self._dispatch_now(destination, message)
+
+    def _dispatch_now(self, destination: NodeId, message: Message) -> None:
         if isinstance(message, (AuthorityReplicate, AuthorityHeartbeat)):
             # Failover plumbing is consumed by the engine, not the scheme.
             pool = self.standby_pool
@@ -677,12 +751,24 @@ class Simulation:
         if channel is not None:
             if isinstance(message, AckMessage):
                 channel.on_ack(destination, message)
+                overload = self.overload
+                if overload is not None and overload.plan.breakers_enabled:
+                    # The acked peer answered: close its breaker even if
+                    # the cooldown has not elapsed (the half-open race).
+                    overload.record_success(destination, message.sender)
                 return
             if message.reliable_id is not None and not channel.deliver(
                 destination, message
             ):
                 return  # retransmission duplicate: already processed
         self.scheme.on_message(destination, message)
+
+    def _authority_coalesce_gap(self) -> float:
+        """The authority's forced-update coalescing gap (0 when off)."""
+        overload = self.overload
+        if overload is None:
+            return 0.0
+        return overload.plan.authority_coalesce_gap
 
     def _on_new_version(self, version: IndexVersion) -> None:
         self.scheme.on_new_version(version)
@@ -814,6 +900,7 @@ class Simulation:
             on_new_version=self._on_new_version,
             value=value,
             initial_version=initial,
+            min_issue_gap=self._authority_coalesce_gap(),
         )
         self._failover_at = self.env.now
         if self.auditor is not None:
@@ -996,6 +1083,8 @@ class Simulation:
             self.env.call_later(
                 self.config.authority_crash_at, self._crash_authority
             )
+        if self.storms is not None:
+            self.storms.install()
         self.authority = Authority(
             env=self.env,
             key=self.key,
@@ -1003,6 +1092,7 @@ class Simulation:
             push_lead=self.config.push_lead,
             on_new_version=self._on_new_version,
             value=f"host-of-{self.key}",
+            min_issue_gap=self._authority_coalesce_gap(),
         )
 
     def run(self) -> SimulationResult:
@@ -1067,6 +1157,19 @@ class Simulation:
             extras["retries"] = self.reliable.retries
             extras["acked"] = self.reliable.acked
             extras["delivery_give_ups"] = self.reliable.give_ups
+        overload = self.overload
+        if overload is not None:
+            extras.update(overload.counters())
+            if hasattr(self.scheme, "rejected_subscribers"):
+                extras["rejected_subscribers"] = (
+                    self.scheme.rejected_subscribers
+                )
+            if self.authority is not None:
+                extras["authority_coalesced_updates"] = (
+                    self.authority.coalesced_updates
+                )
+        if self.storms is not None:
+            extras.update(self.storms.counters())
         if self.config.lease_ttl > 0 and hasattr(
             self.scheme, "lease_expiries"
         ):

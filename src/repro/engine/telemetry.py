@@ -159,6 +159,12 @@ def render_top(records: Iterable, tail: int = 5) -> str:
             gauges.append(f"lat={record['mean_latency']:.2f}")
         if isinstance(record.get("cost_per_query"), (int, float)):
             gauges.append(f"cost={record['cost_per_query']:.2f}")
+        # Overload gauges ride the same records; NaN (no overload
+        # layer) serializes to null and fails the isinstance check.
+        if isinstance(record.get("shed_fraction"), (int, float)):
+            gauges.append(f"shed={record['shed_fraction']:.3f}")
+        if isinstance(record.get("max_queue_depth"), (int, float)):
+            gauges.append(f"qdepth={record['max_queue_depth']:.0f}")
         lines.append(
             f"  {experiment:<16} [{_bar(fraction)}] {done}/{total}"
             + (f" !{failed}" if failed else "")

@@ -15,6 +15,7 @@ from repro.experiments import (
     figure6_degree,
     figure7_zipf,
     figure8_pareto,
+    overload_study,
     paper_spotcheck,
     partition_study,
     resilience_study,
@@ -34,6 +35,7 @@ _REGISTRY: dict[str, Callable] = {
     "convergence": convergence.run,
     "resilience": resilience_study.run,
     "partition": partition_study.run,
+    "overload": overload_study.run,
     "paper-spotcheck": paper_spotcheck.run,
     "ablations": ablations.run,
     "ablation-cutoff": ablations.run_cut_off,
@@ -73,6 +75,7 @@ def run_all(
             "paper-spotcheck",
             "resilience",
             "partition",
+            "overload",
         ) or name.startswith(
             "ablation-"
         ):

@@ -3,7 +3,9 @@
 The recorder captures the *dynamic* behaviour that end-of-run aggregates
 erase — tree grafts and prunes, subscribe/unsubscribe churn, lease
 expiries, failover promotions, auditor detections and repairs, partition
-open/heal — as typed, structured events keyed by simulated time.  It is
+open/heal, overload sheds, subscriber rejections, circuit-breaker
+trip/half-open/close transitions, storm-phase edges — as typed,
+structured events keyed by simulated time.  It is
 a pure observer: it never consumes randomness and never schedules
 simulation events, so a run with the recorder armed is bit-identical to
 the same run without it.

@@ -76,6 +76,14 @@ class Authority:
         Version number of the first issue.  0 for a fresh authority; a
         promoted standby passes its catch-up estimate so version numbers
         stay monotone across failovers.
+    min_issue_gap:
+        Overload protection: the minimum simulated time between
+        *forced* issues.  :meth:`force_update` calls arriving within
+        the gap of the previous issue are coalesced into one deferred
+        issue at the gap boundary — an update storm collapses to one
+        version per gap instead of one push fan-out per call.  ``0``
+        (the default) disables coalescing and keeps the authority
+        bit-identical to a build without the knob.
     """
 
     def __init__(
@@ -87,6 +95,7 @@ class Authority:
         on_new_version: Optional[VersionCallback] = None,
         value: object = None,
         initial_version: int = 0,
+        min_issue_gap: float = 0.0,
     ):
         if ttl <= 0:
             raise ConfigError(f"ttl must be positive, got {ttl}")
@@ -98,6 +107,10 @@ class Authority:
             raise ConfigError(
                 f"initial_version must be >= 0, got {initial_version}"
             )
+        if min_issue_gap < 0:
+            raise ConfigError(
+                f"min_issue_gap must be >= 0, got {min_issue_gap}"
+            )
         self._env = env
         self._key = key
         self._ttl = float(ttl)
@@ -107,6 +120,13 @@ class Authority:
         self._current: Optional[IndexVersion] = None
         self._next_version = int(initial_version)
         self._stopped = False
+        self._min_issue_gap = float(min_issue_gap)
+        self._last_issue_at: Optional[float] = None
+        self._flush_pending = False
+        #: Forced updates absorbed by coalescing (never individually
+        #: issued); the overload experiment's "duplicate pushes shed at
+        #: the source" counter.
+        self.coalesced_updates = 0
         self._process = env.process(self._refresh_loop(), name=f"authority-{key}")
 
     # -- public API ----------------------------------------------------------
@@ -131,15 +151,37 @@ class Authority:
         """Issue a new version immediately (out-of-schedule update).
 
         Used when the hosting node changes or is declared dead; the
-        regular schedule continues relative to the new version.
+        regular schedule continues relative to the new version.  With
+        ``min_issue_gap`` set, calls arriving within the gap of the
+        previous issue coalesce: the newest value wins and a single
+        deferred issue fires at the gap boundary (the version returned
+        is then the still-current one).
         """
         if self._stopped:
             raise RuntimeError("authority is stopped")
         if value is not None:
             self._value = value
+        if self._min_issue_gap > 0 and self._last_issue_at is not None:
+            elapsed = self._env.now - self._last_issue_at
+            if elapsed < self._min_issue_gap:
+                self.coalesced_updates += 1
+                if not self._flush_pending:
+                    self._flush_pending = True
+                    self._env.call_later(
+                        self._min_issue_gap - elapsed, self._flush_forced
+                    )
+                return self.current
         version = self._issue()
         self._process.interrupt("reschedule")
         return version
+
+    def _flush_forced(self) -> None:
+        """Deferred issue absorbing a burst of coalesced force_updates."""
+        self._flush_pending = False
+        if self._stopped:
+            return
+        self._issue()
+        self._process.interrupt("reschedule")
 
     def stop(self) -> None:
         """Halt version rotation permanently (the authority crashed).
@@ -178,6 +220,7 @@ class Authority:
         )
         self._next_version += 1
         self._current = version
+        self._last_issue_at = self._env.now
         if self._callback is not None:
             self._callback(version)
         return version

@@ -38,6 +38,12 @@ class MetricsReport:
         (empty when per-query samples were not retained).
     dropped:
         Messages the transport dropped to churn during the run.
+    give_ups:
+        Reliable deliveries abandoned after exhausting their retry
+        budget ("gave up"; 0 without a reliable channel).
+    stale_read_fraction:
+        Fraction of post-warm-up reads that served a version older than
+        the authority's current one (NaN when no reads happened).
     """
 
     scheme: str
@@ -49,6 +55,8 @@ class MetricsReport:
     hop_breakdown: Mapping[str, int]
     latency_percentiles: Mapping[str, float] = field(default_factory=dict)
     dropped: int = 0
+    give_ups: int = 0
+    stale_read_fraction: float = math.nan
 
     def _percentile(self, key: str) -> float:
         return float(self.latency_percentiles.get(key, math.nan))
@@ -67,6 +75,10 @@ class MetricsReport:
             "cost": round(self.cost_per_query, 4),
             "hit_rate": round(self.hit_rate, 4),
             "dropped": self.dropped,
+            "give_ups": self.give_ups,
+            "stale_frac": round(self.stale_read_fraction, 4)
+            if not math.isnan(self.stale_read_fraction)
+            else math.nan,
             **{f"hops_{k}": v for k, v in self.hop_breakdown.items()},
         }
 
@@ -81,11 +93,17 @@ class MetricsReport:
                 for key in PERCENTILE_KEYS
             )
         dropped = f" dropped={self.dropped}" if self.dropped else ""
+        give_ups = f" give_ups={self.give_ups}" if self.give_ups else ""
+        stale = (
+            f" stale={self.stale_read_fraction:.3g}"
+            if not math.isnan(self.stale_read_fraction)
+            else ""
+        )
         return (
             f"[{self.scheme}] queries={self.queries} "
             f"latency={self.mean_latency:.4g} ({self.latency_ci})"
             f"{tails} "
             f"cost={self.cost_per_query:.4g} hit_rate={self.hit_rate:.3g}"
-            f"{dropped} "
+            f"{stale}{dropped}{give_ups} "
             f"({breakdown})"
         )

@@ -100,6 +100,22 @@ class LeaseRefresh:
 
 
 @dataclass(frozen=True, slots=True)
+class SubscribeNack:
+    """Overload refusal: ``refuser`` declined to list ``subject``.
+
+    Sent directly to the subject by a DUP interior node at its fanout
+    cap (see :class:`repro.net.overload.OverloadPlan.max_subscribers`).
+    The refuser forwarded the subject's :class:`Subscribe` to its own
+    parent — the redirect — so the subscription still lands, one level
+    higher; the NACK is the subject's signal that the refuser is
+    overloaded (it feeds the subject's circuit breaker for that peer).
+    """
+
+    subject: NodeId
+    refuser: NodeId
+
+
+@dataclass(frozen=True, slots=True)
 class CupRegister:
     """CUP: ``child`` registers with the receiving node for pushes."""
 

@@ -27,6 +27,7 @@ designs.
 from __future__ import annotations
 
 import itertools
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -66,6 +67,10 @@ class ReliableChannel:
         ``base_timeout * backoff ** k``.
     backoff:
         Exponential backoff factor (>= 1).
+    timeout_cap:
+        Upper bound on any single retransmission timeout; attempt ``k``
+        waits ``min(base_timeout * backoff ** k, timeout_cap)``.  The
+        default (infinity) preserves pure exponential backoff.
     on_give_up:
         ``on_give_up(sender, destination, message)`` invoked when a
         delivery exhausts its budget — the dead-peer suspicion hook.
@@ -84,6 +89,7 @@ class ReliableChannel:
         retry_budget: int,
         base_timeout: float,
         backoff: float = 2.0,
+        timeout_cap: float = math.inf,
         on_give_up: Optional[GiveUpCallback] = None,
         functioning: Optional[Callable[[NodeId], bool]] = None,
         dedup_window: int = 65536,
@@ -94,11 +100,17 @@ class ReliableChannel:
             raise ValueError(f"base_timeout must be > 0, got {base_timeout}")
         if backoff < 1.0:
             raise ValueError(f"backoff must be >= 1, got {backoff}")
+        if timeout_cap < base_timeout:
+            raise ValueError(
+                f"timeout_cap ({timeout_cap}) must be >= base_timeout "
+                f"({base_timeout})"
+            )
         self._env = env
         self._transport = transport
         self._budget = retry_budget
         self._base_timeout = base_timeout
         self._backoff = backoff
+        self._timeout_cap = timeout_cap
         self._on_give_up = on_give_up
         self._functioning = functioning
         self._ids = itertools.count(1)
@@ -144,7 +156,10 @@ class ReliableChannel:
             hops=pending.hops,
             sender=pending.sender,
         )
-        timeout = self._base_timeout * self._backoff**pending.attempts
+        timeout = min(
+            self._base_timeout * self._backoff**pending.attempts,
+            self._timeout_cap,
+        )
         self._env.call_later(
             timeout, self._expire, delivery_id, pending.attempts
         )

@@ -47,6 +47,10 @@ class Scheme(abc.ABC):
 
     def __init__(self) -> None:
         self.sim: "Simulation | None" = None
+        #: The engine's overload manager, or ``None`` when the overload
+        #: layer is disabled (set by :meth:`bind`).  Schemes consult it
+        #: for circuit-breaker gates and graceful-degradation caps.
+        self.overload = None
         #: Span context of the message currently being processed (set by
         #: the dispatch paths around control handling) so decision hooks
         #: can attribute annotations and triggered messages to the query
@@ -56,6 +60,7 @@ class Scheme(abc.ABC):
     def bind(self, sim: "Simulation") -> None:
         """Attach the scheme to a simulation (called once by the engine)."""
         self.sim = sim
+        self.overload = getattr(sim, "overload", None)
 
     def _trace_note(self, node: NodeId, event: str, detail: str = "") -> None:
         """Annotate the trace of the message currently being processed."""

@@ -51,6 +51,14 @@ class CupScheme(PathCachingScheme):
         # node -> {child -> time of the registration's last refresh}
         self._registered: dict[NodeId, dict[NodeId, float]] = {}
         self._trackers: dict[NodeId, InterestPolicy] = {}
+        #: Graceful degradation: registration-table cap (0 = uncapped).
+        self._max_subscribers = 0
+        self._rejected_subscribers = 0
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        if self.overload is not None:
+            self._max_subscribers = self.overload.plan.max_subscribers
 
     # -- interest and registration state ------------------------------------
     def tracker(self, node: NodeId) -> InterestPolicy:
@@ -113,6 +121,26 @@ class CupScheme(PathCachingScheme):
                     node, "cup.register", f"child={payload.child}"
                 )
                 table = self._registered.setdefault(node, {})
+                if (
+                    self._max_subscribers
+                    and payload.child not in table
+                    and not self.sim.is_root(node)
+                    and len(table) >= self._max_subscribers
+                ):
+                    # At capacity: refuse the new registration.  No NACK
+                    # is needed — CUP registrations are soft state, so
+                    # the child simply stays cold and re-registers with
+                    # its next query once load (and the table) drains.
+                    self._rejected_subscribers += 1
+                    recorder = getattr(self.sim, "recorder", None)
+                    if recorder is not None:
+                        recorder.record(
+                            "reject-subscriber",
+                            node=node,
+                            subject=payload.child,
+                            detail=f"table={len(table)}",
+                        )
+                    continue
                 table[payload.child] = self.sim.env.now
                 refreshed = True
             else:  # pragma: no cover - defensive
@@ -120,6 +148,11 @@ class CupScheme(PathCachingScheme):
         if refreshed and not self.sim.is_root(node) and self.wants_updates(node):
             return [CupRegister(node)]
         return []
+
+    @property
+    def rejected_subscribers(self) -> int:
+        """Registrations refused by capped nodes."""
+        return self._rejected_subscribers
 
     # -- pushes ---------------------------------------------------------------
     def on_new_version(self, version) -> None:

@@ -30,6 +30,7 @@ from repro.net.message import (
     QueryMessage,
     RefreshSubscribe,
     Subscribe,
+    SubscribeNack,
     Substitute,
     Unsubscribe,
 )
@@ -56,10 +57,19 @@ class DupScheme(PathCachingScheme):
         self._leases: LeaseTable | None = None
         self._lease_expiries = 0
         self._recorder = None
+        #: Graceful degradation: fanout cap (0 = uncapped) and, per
+        #: refusing node, the subjects it redirected to its parent.
+        self._max_subscribers = 0
+        self._breakers = False
+        self._redirected: dict[NodeId, set[NodeId]] = {}
+        self._rejected_subscribers = 0
 
     def bind(self, sim) -> None:
         super().bind(sim)
         self._recorder = getattr(sim, "recorder", None)
+        if self.overload is not None:
+            self._max_subscribers = self.overload.plan.max_subscribers
+            self._breakers = self.overload.plan.breakers_enabled
         self.protocol = DupProtocol(is_root=sim.is_root)
         self.maintenance = DupMaintenance(
             self.protocol,
@@ -152,6 +162,13 @@ class DupScheme(PathCachingScheme):
             if isinstance(payload, LeaseRefresh):
                 self._handle_lease_refresh(node, payload, combined)
                 continue
+            if isinstance(payload, SubscribeNack):
+                self._handle_subscribe_nack(node, payload)
+                continue
+            if self._max_subscribers and self._degrade_control(
+                node, payload, combined
+            ):
+                continue
             combined.merge(self.protocol.step(node, payload))
             self._note_lease_activity(node, payload)
         if (
@@ -168,6 +185,109 @@ class DupScheme(PathCachingScheme):
             # not push: the subscription is not theirs to serve.
             self._push_current(node, combined.new_subscribers)
         return combined.upstream
+
+    # -- graceful degradation (overload layer) --------------------------------
+    def _degrade_control(
+        self, node: NodeId, payload: object, combined
+    ) -> bool:
+        """Fanout-capped handling of one control payload at ``node``.
+
+        Returns ``True`` when the payload was fully handled here (the
+        normal ``protocol.step`` must be skipped).  Two cases:
+
+        - the subject was previously *redirected* by this node: its
+          subscription state lives at the parent, so subscribe /
+          unsubscribe / refresh traffic is relayed upstream instead of
+          being processed against a list that never held it (an
+          unsubscribe would otherwise die here and leak the parent's
+          entry forever);
+        - a fresh ``Subscribe`` arriving at a node already at its
+          fanout cap: refused with a redirect — the subscribe continues
+          to the parent, the subject gets a direct NACK naming the
+          refuser, and the subject is remembered as redirected.
+
+        The root never refuses (someone must hold the subscription),
+        and repair traffic (``RefreshSubscribe`` for non-redirected
+        subjects, ``Substitute``) is never refused either.
+        """
+        subject = getattr(payload, "subject", None)
+        if subject is None or subject == node:
+            return False
+        redirected = self._redirected.get(node)
+        if redirected is not None and subject in redirected:
+            if isinstance(payload, Unsubscribe):
+                redirected.discard(subject)
+            if isinstance(
+                payload, (Subscribe, Unsubscribe, RefreshSubscribe)
+            ):
+                self._trace_note(node, "dup.redirect-relay", repr(payload))
+                combined.upstream.append(payload)
+                return True
+            return False
+        if not isinstance(payload, Subscribe):
+            return False
+        sim = self.sim
+        if sim.is_root(node):
+            return False
+        s_list = self.protocol.s_list(node)
+        if subject in s_list:
+            return False  # already listed: renewal, not growth
+        fanout = sum(1 for entry in s_list if entry != node)
+        if fanout < self._max_subscribers:
+            return False
+        # Refuse: redirect the subscribe to the parent, NACK the subject.
+        self._rejected_subscribers += 1
+        if redirected is None:
+            redirected = self._redirected.setdefault(node, set())
+        redirected.add(subject)
+        self._record(
+            "reject-subscriber",
+            node=node,
+            subject=subject,
+            detail=f"fanout={fanout}",
+        )
+        self._trace_note(node, "dup.reject-subscriber", f"subject={subject}")
+        combined.upstream.append(payload)
+        self._send_nack(node, subject)
+        return True
+
+    def _send_nack(self, refuser: NodeId, subject: NodeId) -> None:
+        """Direct best-effort NACK to the refused subject.
+
+        Deliberately unreliable: the NACK is advice (it feeds the
+        subject's breaker for the refuser), not protocol state — the
+        redirected subscribe is what actually keeps the subject served.
+        """
+        sim = self.sim
+        if not sim.alive(subject):
+            return
+        message = ControlMessage(
+            key=sim.key,
+            payloads=[SubscribeNack(subject=subject, refuser=refuser)],
+            sender=refuser,
+        )
+        message.trace_id = self._carrier_trace
+        sim.transport.send(subject, message)
+
+    def _handle_subscribe_nack(
+        self, node: NodeId, payload: SubscribeNack
+    ) -> None:
+        """The subject learned a peer refused to list it."""
+        self._record(
+            "reject-subscriber",
+            node=node,
+            subject=payload.refuser,
+            detail="nack-received",
+        )
+        if self._breakers and node == payload.subject:
+            self.overload.record_failure(
+                node, payload.refuser, reason="subscribe-nack"
+            )
+
+    @property
+    def rejected_subscribers(self) -> int:
+        """Subscribes refused (and redirected) by capped interior nodes."""
+        return self._rejected_subscribers
 
     # -- pushes ---------------------------------------------------------------
     def on_new_version(self, version) -> None:
@@ -226,6 +346,11 @@ class DupScheme(PathCachingScheme):
         the Section III-C repair flows.
         """
         sim = self.sim
+        if self._breakers and not self.overload.allows(push.sender, target):
+            # Breaker OPEN for this peer: suppress the push (the
+            # subscription survives; the half-open probe will resume
+            # pushes once the peer answers again).
+            return
         channel = sim.reliable
         if channel is not None:
             channel.send(target, push, sender=push.sender)
@@ -244,6 +369,7 @@ class DupScheme(PathCachingScheme):
     def on_node_left(self, node: NodeId) -> None:
         self.maintenance.node_left(node)
         self._trackers.pop(node, None)
+        self._redirected.pop(node, None)
         if self._leases is not None:
             self._leases.drop_holder(node)
         self.sim.forget_node(node)
@@ -251,6 +377,7 @@ class DupScheme(PathCachingScheme):
     def on_node_failed(self, node: NodeId) -> None:
         self.maintenance.node_failed(node)
         self._trackers.pop(node, None)
+        self._redirected.pop(node, None)
         if self._leases is not None:
             self._leases.drop_holder(node)
         self.sim.forget_node(node)
@@ -270,6 +397,7 @@ class DupScheme(PathCachingScheme):
         else:
             self.maintenance.root_failed(new_root)
         self._trackers.pop(old_root, None)
+        self._redirected.pop(old_root, None)
         if self._leases is not None:
             self._leases.drop_holder(old_root)
 
@@ -336,6 +464,12 @@ class DupScheme(PathCachingScheme):
         subject = payload.subject
         if subject in self.protocol.s_list(node):
             leases.touch(node, subject)
+            return
+        redirected = self._redirected.get(node)
+        if redirected is not None and subject in redirected:
+            # The subject's state lives at the parent (fanout-cap
+            # redirect): relay the refresh instead of re-adopting it.
+            combined.upstream.append(payload)
             return
         # Unknown subject: the entry was expired (or its subscribe was
         # lost before the reliable channel existed).  Self-heal by

@@ -72,6 +72,55 @@ class ZipfNodeSelector:
                 return node
         return None
 
+    def sample_tail(
+        self,
+        rng: np.random.Generator,
+        is_alive,
+        fraction: float = 0.5,
+        attempts: int = 64,
+    ) -> Optional[NodeId]:
+        """Draw uniformly from the cold tail of the popularity ranking.
+
+        Storm thrash uses this: a burst only churns subscription state
+        when it lands on a node cold enough that its interest will lapse
+        again, and the Zipf head is warm almost by definition.  Falls
+        back to a coldest-first scan, then ``None``, like
+        :meth:`sample_alive`.
+        """
+        total = len(self._ranked)
+        start = min(total - 1, int(total * (1.0 - fraction)))
+        tail = self._ranked[start:]
+        for _ in range(attempts):
+            node = tail[int(rng.integers(len(tail)))]
+            if is_alive(node):
+                return node
+        for node in reversed(self._ranked):
+            if is_alive(node):
+                return node
+        return None
+
+    def flip_ranks(
+        self, rng: np.random.Generator, count: int = 1
+    ) -> list[NodeId]:
+        """Flash-crowd rank flip: promote ``count`` random nodes to the
+        top of the popularity ranking.
+
+        The chosen nodes (drawn without replacement from the whole
+        ranking with ``rng`` — storms pass a dedicated stream so the
+        base workload's streams are untouched) become the new hottest
+        nodes; everyone else shifts down with relative order preserved.
+        Returns the promoted nodes, new rank 0 first.
+        """
+        total = len(self._ranked)
+        count = max(1, min(count, total))
+        chosen = sorted(
+            (int(i) for i in rng.choice(total, size=count, replace=False)),
+            reverse=True,
+        )
+        promoted = [self._ranked.pop(index) for index in chosen]
+        self._ranked[:0] = promoted
+        return promoted
+
     def rank_of(self, node: NodeId) -> int:
         """The node's popularity rank (0 = hottest)."""
         return self._ranked.index(node)

@@ -96,3 +96,9 @@ class TestGoldens:
             scale="smoke", replications=1, seed=1
         )
         check_golden(result, "partition_smoke", update_goldens)
+
+    def test_overload_smoke_matches_golden(self, update_goldens):
+        result = get_experiment("overload")(
+            scale="smoke", replications=1, seed=1
+        )
+        check_golden(result, "overload_smoke", update_goldens)

@@ -1,0 +1,490 @@
+"""Tests of the overload layer: bounded inboxes, breakers, storms.
+
+The four ISSUE-mandated cases anchor this file — a zero-capacity inbox,
+control traffic starving (evicting) the data class, the breaker
+half-open race with a concurrently healed peer, and worker-count
+independence of every drop decision — surrounded by the plan-validation
+and accounting tests the layer's determinism story rests on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.engine import SimulationConfig, run_replications
+from repro.errors import ConfigError
+from repro.flightrec import FlightRecorder
+from repro.index.entry import IndexVersion
+from repro.net.message import (
+    ControlMessage,
+    PushMessage,
+    QueryMessage,
+    Subscribe,
+)
+from repro.net.overload import (
+    SHED_COALESCED,
+    SHED_CONTROL_OVERFLOW,
+    SHED_EVICTED,
+    SHED_INBOX_FULL,
+    OverloadManager,
+    OverloadPlan,
+    build_manager,
+)
+from repro.sim.core import Environment
+from repro.workload.storms import StormPhase, StormPlan
+
+
+def version(key: int, number: int) -> IndexVersion:
+    return IndexVersion(
+        key=key, version=number, issued_at=0.0, ttl=600.0, value=None
+    )
+
+
+def query(key: int = 0, origin: int = 1) -> QueryMessage:
+    return QueryMessage(key=key, origin=origin)
+
+
+def push(key: int = 0, number: int = 1) -> PushMessage:
+    return PushMessage(key=key, version=version(key, number), sender=0)
+
+
+def control(subject: int = 1) -> ControlMessage:
+    return ControlMessage(
+        key=0, payloads=[Subscribe(subject=subject)], sender=subject
+    )
+
+
+def manager(plan: OverloadPlan, delivered=None, recorder=None):
+    env = Environment()
+    log = delivered if delivered is not None else []
+    mgr = OverloadManager(
+        env, plan, lambda dst, msg: log.append((env.now, dst, msg)), recorder
+    )
+    return env, mgr, log
+
+
+# -- plan validation ----------------------------------------------------------
+
+
+class TestOverloadPlan:
+    def test_defaults_leave_the_layer_disabled(self):
+        plan = OverloadPlan()
+        assert not plan.enabled
+        assert not plan.inboxes_enabled
+        assert not plan.breakers_enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(service_rate=1.0),
+            dict(max_subscribers=4),
+            dict(authority_coalesce_gap=10.0),
+            dict(breaker_threshold=3),
+        ],
+    )
+    def test_any_knob_enables(self, kwargs):
+        assert OverloadPlan(**kwargs).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(inbox_capacity=-1),
+            dict(service_rate=-0.5),
+            dict(max_subscribers=-2),
+            dict(authority_coalesce_gap=-1.0),
+            dict(breaker_threshold=-1),
+            dict(breaker_threshold=2, breaker_cooldown=0.0),
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            OverloadPlan(**kwargs)
+
+    def test_build_manager_is_none_when_disabled(self):
+        env = Environment()
+        deliver = lambda dst, msg: None  # noqa: E731
+        assert build_manager(env, None, deliver) is None
+        assert build_manager(env, OverloadPlan(), deliver) is None
+        assert build_manager(env, OverloadPlan(service_rate=2.0), deliver)
+
+
+# -- bounded priority inbox ---------------------------------------------------
+
+
+class TestBoundedInbox:
+    def test_idle_node_processes_immediately(self):
+        env, mgr, log = manager(OverloadPlan(service_rate=1.0))
+        assert mgr.admit(7, query()) is True
+        assert mgr.offered == 1
+        assert mgr.shed_total == 0
+
+    def test_zero_capacity_inbox_sheds_everything_queued(self):
+        # ISSUE case 1: capacity 0 leaves no waiting room at all.
+        env, mgr, log = manager(
+            OverloadPlan(service_rate=1.0, inbox_capacity=0)
+        )
+        assert mgr.admit(7, query()) is True  # idle: server slot, not queue
+        assert mgr.admit(7, query()) is False
+        assert mgr.shed_data == 1
+        # Control with no data to evict is dropped too: nowhere to sit.
+        assert mgr.admit(7, control()) is False
+        assert mgr.shed_control == 1
+        assert mgr.max_queue_depth == 0
+
+    def test_control_evicts_newest_queued_data(self):
+        # ISSUE case 2: control starves the data class, never vice versa.
+        env, mgr, log = manager(
+            OverloadPlan(service_rate=1.0, inbox_capacity=2)
+        )
+        mgr.admit(7, query(origin=1))  # served now
+        first, second = query(origin=2), query(origin=3)
+        assert mgr.admit(7, first) is False  # queued
+        assert mgr.admit(7, second) is False  # queued, inbox now full
+        assert mgr.admit(7, control(subject=4)) is False  # evicts `second`
+        assert mgr.admit(7, control(subject=5)) is False  # evicts `first`
+        assert mgr.shed_data == 2
+        assert mgr.evicted_for_control == 2
+        assert mgr.shed_control == 0
+        # The inbox is now all-control: only now may control be dropped.
+        assert mgr.admit(7, control(subject=6)) is False
+        assert mgr.shed_control == 1
+
+    def test_drain_serves_control_before_older_data(self):
+        env, mgr, log = manager(
+            OverloadPlan(service_rate=1.0, inbox_capacity=4)
+        )
+        mgr.admit(7, query(origin=1))
+        late_control = control(subject=9)
+        early_data = query(origin=2)
+        mgr.admit(7, early_data)
+        mgr.admit(7, late_control)
+        env.run(until=10.0)
+        # Service completions at t=1, 2, 3: control overtakes the data
+        # message that arrived before it.
+        assert [entry[2] for entry in log] == [late_control, early_data]
+        assert [entry[0] for entry in log] == [1.0, 2.0]
+
+    def test_server_goes_idle_and_recovers(self):
+        env, mgr, log = manager(OverloadPlan(service_rate=1.0))
+        mgr.admit(7, query())
+        env.run(until=5.0)
+        # Queue drained; the next arrival is served immediately again.
+        assert mgr.admit(7, query()) is True
+
+    def test_pushes_coalesce_to_newest_version(self):
+        env, mgr, log = manager(
+            OverloadPlan(service_rate=1.0, inbox_capacity=8)
+        )
+        mgr.admit(7, query())  # occupy the server
+        mgr.admit(7, push(key=3, number=1))
+        assert mgr.admit(7, push(key=3, number=2)) is False
+        assert mgr.pushes_coalesced == 1
+        # A stale duplicate coalesces without replacing the newer slot.
+        assert mgr.admit(7, push(key=3, number=1)) is False
+        assert mgr.pushes_coalesced == 2
+        env.run(until=10.0)
+        versions = [
+            entry[2].version.version
+            for entry in log
+            if type(entry[2]) is PushMessage
+        ]
+        assert versions == [2]
+        # Coalesces are not sheds: the update still arrives, once.
+        assert mgr.shed_total == 0
+        assert mgr.shed_fraction == 0.0
+
+    def test_coalescing_respects_distinct_keys(self):
+        env, mgr, log = manager(
+            OverloadPlan(service_rate=1.0, inbox_capacity=8)
+        )
+        mgr.admit(7, query())
+        mgr.admit(7, push(key=3, number=1))
+        mgr.admit(7, push(key=4, number=1))
+        assert mgr.pushes_coalesced == 0
+
+    def test_accounting_and_gauges(self):
+        recorder = FlightRecorder(clock=lambda: 0.0)
+        env = Environment()
+        mgr = OverloadManager(
+            env,
+            OverloadPlan(service_rate=1.0, inbox_capacity=1),
+            lambda dst, msg: None,
+            recorder,
+        )
+        mgr.admit(7, query())  # served
+        mgr.admit(7, query())  # queued (peak depth 1)
+        mgr.admit(7, query())  # shed: inbox-full
+        mgr.admit(7, control())  # evicts the queued query
+        mgr.admit(7, control())  # all-control: control-overflow
+        counters = mgr.counters()
+        assert counters["overload_offered"] == 5
+        assert counters["overload_shed_data"] == 2
+        assert counters["overload_shed_control"] == 1
+        assert counters["overload_evicted_for_control"] == 1
+        assert counters["max_queue_depth"] == 1
+        assert counters["shed_fraction"] == pytest.approx(3 / 5)
+        details = [e.detail.split(":")[0] for e in recorder.events]
+        assert details == [SHED_INBOX_FULL, SHED_EVICTED, SHED_CONTROL_OVERFLOW]
+        assert recorder.counts()["overload-shed"] == 3
+        assert SHED_COALESCED  # exported for dashboards; not hit here
+
+
+# -- per-peer circuit breakers ------------------------------------------------
+
+
+def breaker_manager(threshold=3, cooldown=60.0):
+    return manager(
+        OverloadPlan(breaker_threshold=threshold, breaker_cooldown=cooldown)
+    )
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        env, mgr, _ = breaker_manager(threshold=3)
+        for _ in range(2):
+            mgr.record_failure(1, 2, reason="give-up")
+        assert mgr.breaker_state(1, 2) == "closed"
+        assert mgr.allows(1, 2)
+        mgr.record_failure(1, 2, reason="give-up")
+        assert mgr.breaker_state(1, 2) == "open"
+        assert mgr.breaker_trips == 1
+        assert not mgr.allows(1, 2)
+        assert mgr.breaker_suppressed == 1
+
+    def test_breakers_are_per_ordered_pair(self):
+        env, mgr, _ = breaker_manager(threshold=1)
+        mgr.record_failure(1, 2)
+        assert not mgr.allows(1, 2)
+        assert mgr.allows(2, 1)
+        assert mgr.allows(1, 3)
+
+    def test_half_open_lets_exactly_one_probe_through(self):
+        env, mgr, _ = breaker_manager(threshold=1, cooldown=10.0)
+        mgr.record_failure(1, 2)
+        env.run(until=10.0)
+        assert mgr.allows(1, 2)  # the probe
+        assert mgr.breaker_state(1, 2) == "half-open"
+        assert mgr.breaker_probes == 1
+        assert not mgr.allows(1, 2)  # everything behind the probe waits
+
+    def test_failed_probe_reopens(self):
+        env, mgr, _ = breaker_manager(threshold=1, cooldown=10.0)
+        mgr.record_failure(1, 2)
+        env.run(until=10.0)
+        assert mgr.allows(1, 2)
+        mgr.record_failure(1, 2)
+        assert mgr.breaker_state(1, 2) == "open"
+        assert mgr.breaker_trips == 2
+        # The clock restarts from the failed probe, not the first trip.
+        assert not mgr.allows(1, 2)
+        env.run(until=20.0)
+        assert mgr.allows(1, 2)
+
+    def test_successful_probe_closes(self):
+        env, mgr, _ = breaker_manager(threshold=1, cooldown=10.0)
+        mgr.record_failure(1, 2)
+        env.run(until=10.0)
+        assert mgr.allows(1, 2)
+        mgr.record_success(1, 2)
+        assert mgr.breaker_state(1, 2) == "closed"
+        assert mgr.allows(1, 2)
+
+    def test_half_open_race_with_concurrently_healed_peer(self):
+        # ISSUE case 3: the peer answers *before* the cooldown elapses
+        # (an ack from a retry still in flight).  The success closes the
+        # OPEN breaker immediately; no probe window is required.
+        env, mgr, _ = breaker_manager(threshold=1, cooldown=60.0)
+        mgr.record_failure(1, 2)
+        assert mgr.breaker_state(1, 2) == "open"
+        env.run(until=5.0)  # well inside the cooldown
+        mgr.record_success(1, 2)
+        assert mgr.breaker_state(1, 2) == "closed"
+        assert mgr.allows(1, 2)
+        # And the failure count restarted: one new failure does not trip
+        # a threshold-2 breaker.
+        env2, mgr2, _ = breaker_manager(threshold=2, cooldown=60.0)
+        mgr2.record_failure(1, 2)
+        mgr2.record_success(1, 2)
+        mgr2.record_failure(1, 2)
+        assert mgr2.breaker_state(1, 2) == "closed"
+
+    def test_success_on_unknown_peer_is_a_noop(self):
+        env, mgr, _ = breaker_manager()
+        mgr.record_success(1, 2)
+        assert mgr.breaker_state(1, 2) == "closed"
+
+    def test_disabled_breakers_never_trip(self):
+        env, mgr, _ = manager(OverloadPlan(service_rate=1.0))
+        for _ in range(10):
+            mgr.record_failure(1, 2)
+        assert mgr.allows(1, 2)
+        assert mgr.breaker_trips == 0
+
+
+# -- end-to-end determinism and identity -------------------------------------
+
+# Mirrors the overload study's purpose-built config at a shorter
+# horizon: 64 nodes keep a genuinely cold Zipf tail (ttl below the
+# tail's inter-query gap), which storms need to force any forwarding.
+STORMY = dict(
+    num_nodes=64,
+    duration=1800.0,
+    warmup=450.0,
+    query_rate=3.0,
+    ttl=120.0,
+    push_lead=30.0,
+)
+
+PLAN = OverloadPlan(
+    inbox_capacity=8,
+    service_rate=1.5,
+    max_subscribers=2,
+    authority_coalesce_gap=30.0,
+    breaker_threshold=3,
+    breaker_cooldown=120.0,
+)
+
+STORMS = StormPlan(
+    phases=(
+        StormPhase(
+            kind="flash-crowd",
+            start=500.0,
+            duration=600.0,
+            rate=6.0,
+            rank_flips=4,
+        ),
+        StormPhase(kind="update-storm", start=550.0, duration=500.0, rate=0.8),
+        StormPhase(
+            kind="thrash", start=600.0, duration=400.0, rate=0.1, burst=17
+        ),
+    )
+)
+
+
+def fingerprint(result) -> str:
+    record = dataclasses.asdict(result)
+    record.pop("wall_seconds")
+    return json.dumps(record, sort_keys=True, default=repr)
+
+
+class TestEndToEnd:
+    def test_drop_decisions_identical_across_worker_counts(self):
+        # ISSUE case 4: every drop decision is a pure function of queue
+        # state, so the full result (drop accounting included) is
+        # bit-identical under any worker count.
+        config = SimulationConfig(
+            scheme="dup", seed=3, overload=PLAN, storms=STORMS, **STORMY
+        )
+        serial = run_replications(config, replications=2, workers=1)
+        pooled = run_replications(config, replications=2, workers=4)
+        prints = [fingerprint(r) for r in serial.runs]
+        assert prints == [fingerprint(r) for r in pooled.runs]
+        # The storm genuinely exercised the layer, or this test proves
+        # nothing about drop decisions.
+        extras = serial.runs[0].extras
+        assert extras["overload_offered"] > 0
+        assert extras["overload_shed_data"] > 0
+
+    def test_disabled_layer_is_bit_identical_to_no_layer(self):
+        # overload=None and an all-default (disabled) plan must produce
+        # the same run, byte for byte: the goldens depend on it.
+        base = SimulationConfig(scheme="dup", seed=3, **STORMY)
+        defaulted = SimulationConfig(
+            scheme="dup", seed=3, overload=OverloadPlan(), **STORMY
+        )
+        without = run_replications(base, replications=1, workers=1)
+        with_default = run_replications(defaulted, replications=1, workers=1)
+
+        def observables(result) -> str:
+            record = dataclasses.asdict(result)
+            record.pop("wall_seconds")
+            record.pop("config")  # the configs differ *by construction*
+            return json.dumps(record, sort_keys=True, default=repr)
+
+        assert observables(without.runs[0]) == observables(
+            with_default.runs[0]
+        )
+        assert "overload_offered" not in without.runs[0].extras
+
+    def test_cli_overload_and_storm_flags(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "simulate",
+                "--scheme",
+                "dup",
+                "--nodes",
+                "48",
+                "--duration",
+                "2000",
+                "--warmup",
+                "500",
+                "--ttl",
+                "120",
+                "--service-rate",
+                "1.5",
+                "--inbox-capacity",
+                "8",
+                "--max-subscribers",
+                "2",
+                "--breaker-threshold",
+                "3",
+                "--coalesce-gap",
+                "30",
+                "--storm",
+                "flash-crowd",
+                "--storm",
+                "thrash",
+                "--storm-rate",
+                "4",
+                "--storm-burst",
+                "17",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "overload_offered" in output
+        assert "storm_phases_completed': 2" in output
+
+    def test_stampede_scenario_applies_overload_and_storms(self):
+        from repro.engine.chaos import get_scenario
+
+        scenario = get_scenario("stampede")
+        # The stock scenario is sized for the CLI defaults' horizon.
+        config = SimulationConfig(
+            scheme="dup",
+            seed=1,
+            **dict(STORMY, duration=3600.0, warmup=900.0),
+        )
+        applied = scenario.apply(config)
+        assert applied.overload is not None
+        assert applied.overload.enabled
+        assert [p.kind for p in applied.storms.phases] == [
+            "flash-crowd",
+            "update-storm",
+        ]
+        # Offsets resolve against warm-up; a config already carrying an
+        # overload plan keeps its own.
+        assert applied.storms.phases[0].start == config.warmup + 120.0
+        own = config.replace(overload=PLAN)
+        assert scenario.apply(own).overload is PLAN
+
+    def test_protected_run_reports_overload_extras(self):
+        config = SimulationConfig(
+            scheme="dup", seed=3, overload=PLAN, storms=STORMS, **STORMY
+        )
+        result = run_replications(config, replications=1, workers=1).runs[0]
+        for key in (
+            "overload_offered",
+            "overload_shed_data",
+            "overload_shed_control",
+            "shed_fraction",
+            "max_queue_depth",
+            "queue_depth_p99",
+            "breaker_trips",
+        ):
+            assert key in result.extras, key
