@@ -1,0 +1,15 @@
+"""Benchmark: the adaptive/balanced DUP ablation (storm sweep, all variants)."""
+
+from repro.experiments import adaptive_study
+
+from _harness import assert_shapes, run_experiment
+
+
+def test_adaptive_study(benchmark):
+    results = run_experiment(
+        benchmark,
+        adaptive_study.run,
+        scale="quick",
+        replications=1,
+    )
+    assert_shapes(results)

@@ -171,6 +171,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_arguments(sim_parser)
     _add_overload_arguments(sim_parser)
+    _add_interest_arguments(sim_parser)
     _add_telemetry_arguments(sim_parser)
 
     observe_parser = subparsers.add_parser(
@@ -263,6 +264,7 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--seed", type=int, default=1)
     _add_fault_arguments(chaos_parser)
     _add_overload_arguments(chaos_parser)
+    _add_interest_arguments(chaos_parser)
     _add_telemetry_arguments(chaos_parser)
 
     top_parser = subparsers.add_parser(
@@ -559,6 +561,56 @@ def _add_overload_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_interest_arguments(parser: argparse.ArgumentParser) -> None:
+    """Interest-policy flags shared by ``simulate`` and ``chaos``."""
+    group = parser.add_argument_group("interest policy")
+    group.add_argument(
+        "--interest-policy",
+        default="window",
+        choices=("window", "ewma", "adaptive"),
+        help=(
+            "per-node interest estimator: the paper's sliding window, "
+            "the EWMA ablation, or the self-tuning adaptive policy "
+            "(dup-adaptive forces 'adaptive' regardless)"
+        ),
+    )
+    group.add_argument(
+        "--threshold-floor",
+        type=int,
+        default=2,
+        help="adaptive policy: lower bound on the per-node threshold",
+    )
+    group.add_argument(
+        "--threshold-ceiling",
+        type=int,
+        default=10,
+        help="adaptive policy: upper bound on the per-node threshold",
+    )
+    group.add_argument(
+        "--adaptive-gain",
+        type=float,
+        default=0.5,
+        help=(
+            "adaptive policy: threshold per observed query-per-window "
+            "(a node seeing r queries/TTL settles near round(gain * r))"
+        ),
+    )
+
+
+def _interest_overrides(args: argparse.Namespace) -> dict:
+    """SimulationConfig overrides from the interest-policy flags."""
+    overrides: dict = {}
+    if args.interest_policy != "window":
+        overrides["interest_policy"] = args.interest_policy
+    if args.threshold_floor != 2:
+        overrides["threshold_floor"] = args.threshold_floor
+    if args.threshold_ceiling != 10:
+        overrides["threshold_ceiling"] = args.threshold_ceiling
+    if args.adaptive_gain != 0.5:
+        overrides["adaptive_gain"] = args.adaptive_gain
+    return overrides
+
+
 def _overload_overrides(args: argparse.Namespace) -> dict:
     """SimulationConfig overrides from the overload/storm flags."""
     from repro.net.overload import OverloadPlan
@@ -756,6 +808,7 @@ def _instrumented_run(
 def _command_simulate(args: argparse.Namespace) -> int:
     overrides = _fault_overrides(args)
     overrides.update(_overload_overrides(args))
+    overrides.update(_interest_overrides(args))
     if args.churn_rate > 0:
         from repro.workload.churn import ChurnConfig
 
@@ -890,6 +943,7 @@ def _command_chaos(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario)
     overrides = _fault_overrides(args)
     overrides.update(_overload_overrides(args))
+    overrides.update(_interest_overrides(args))
     config = SimulationConfig(
         scheme=args.scheme,
         num_nodes=args.nodes,

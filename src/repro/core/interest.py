@@ -9,7 +9,9 @@ downstream.
 :class:`WindowInterestPolicy` implements exactly that sliding window.
 :class:`EwmaInterestPolicy` is an alternative (exponentially weighted
 arrival-rate estimate) used by the ablation benchmark to quantify how much
-the policy choice matters.
+the policy choice matters.  :class:`AdaptiveInterestPolicy` keeps the
+paper's decision rule but lets each node tune its own threshold from the
+query rate it observes (ROADMAP item 5; the ``dup-adaptive`` scheme).
 """
 
 from __future__ import annotations
@@ -158,5 +160,150 @@ class EwmaInterestPolicy:
     def __repr__(self) -> str:
         return (
             f"EwmaInterestPolicy(window={self._window}, "
+            f"threshold={self._threshold}, rate={self._rate:.4g})"
+        )
+
+
+class AdaptiveInterestPolicy:
+    """Sliding-window policy with a self-tuning threshold.
+
+    The decision rule is the paper's (more than ``threshold`` arrivals in
+    the trailing window), but the threshold tracks the node's own observed
+    query rate instead of a global constant.  Time is cut into consecutive
+    window-length epochs; when an epoch closes, its arrival count folds
+    into an exponentially smoothed per-window rate estimate and the
+    effective threshold becomes ``clamp(round(gain * rate), floor,
+    ceiling)``.  Entirely deterministic — no RNG, and the estimator state
+    advances only on ``record``/``is_interested`` calls, so replays are
+    bit-identical.
+
+    With ``floor == ceiling == c`` the threshold is pinned at ``c`` and
+    every decision matches ``WindowInterestPolicy(window, c)`` exactly —
+    the frozen-rate equivalence proven by ``tests/test_differential.py``.
+
+    Parameters
+    ----------
+    window:
+        Trailing interval (the index TTL) — also the epoch length.
+    floor / ceiling:
+        Hard bounds on the effective threshold.
+    gain:
+        Scales the rate estimate into a threshold: a node observing
+        ``r`` queries per window settles near ``round(gain * r)``.
+    smoothing:
+        Weight of the newest closed epoch in the rate estimate
+        (``rate = (1 - smoothing) * rate + smoothing * count``).
+    """
+
+    __slots__ = (
+        "_window",
+        "_floor",
+        "_ceiling",
+        "_gain",
+        "_smoothing",
+        "_arrivals",
+        "_epoch_start",
+        "_epoch_count",
+        "_rate",
+        "_threshold",
+    )
+
+    def __init__(
+        self,
+        window: float,
+        floor: int,
+        ceiling: int,
+        gain: float = 0.5,
+        smoothing: float = 0.5,
+    ):
+        if window <= 0:
+            raise ConfigError(f"window must be positive, got {window}")
+        if floor < 0:
+            raise ConfigError(f"floor must be >= 0, got {floor}")
+        if ceiling < floor:
+            raise ConfigError(f"ceiling must be >= floor, got {ceiling} < {floor}")
+        if gain < 0:
+            raise ConfigError(f"gain must be >= 0, got {gain}")
+        if not 0 < smoothing <= 1:
+            raise ConfigError(f"smoothing must be in (0, 1], got {smoothing}")
+        self._window = float(window)
+        self._floor = int(floor)
+        self._ceiling = int(ceiling)
+        self._gain = float(gain)
+        self._smoothing = float(smoothing)
+        self._arrivals: deque[float] = deque()
+        self._epoch_start = 0.0
+        self._epoch_count = 0
+        self._rate = 0.0
+        self._threshold = self._clamp(0.0)
+
+    def record(self, now: float) -> None:
+        """Register one query arrival."""
+        self._advance(now)
+        self._prune(now)
+        self._arrivals.append(now)
+        self._epoch_count += 1
+
+    def is_interested(self, now: float) -> bool:
+        """More than the current threshold arrivals in ``(now - window, now]``."""
+        self._advance(now)
+        self._prune(now)
+        return len(self._arrivals) > self._threshold
+
+    def count(self, now: float) -> int:
+        """Arrivals currently inside the window."""
+        self._prune(now)
+        return len(self._arrivals)
+
+    def _advance(self, now: float) -> None:
+        # Close every whole epoch that ended at or before ``now``.  The
+        # loop is bounded: an idle stretch folds in as zero-count epochs,
+        # each halving (by default) the rate estimate.
+        while now - self._epoch_start >= self._window:
+            self._rate = (
+                1.0 - self._smoothing
+            ) * self._rate + self._smoothing * self._epoch_count
+            self._epoch_count = 0
+            self._epoch_start += self._window
+            self._threshold = self._clamp(self._gain * self._rate)
+
+    def _clamp(self, raw: float) -> int:
+        return max(self._floor, min(self._ceiling, int(round(raw))))
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self._window
+        arrivals = self._arrivals
+        while arrivals and arrivals[0] <= horizon:
+            arrivals.popleft()
+
+    @property
+    def window(self) -> float:
+        """The trailing interval / epoch length."""
+        return self._window
+
+    @property
+    def threshold(self) -> int:
+        """The current effective threshold (clamped)."""
+        return self._threshold
+
+    @property
+    def floor(self) -> int:
+        """Lower bound on the effective threshold."""
+        return self._floor
+
+    @property
+    def ceiling(self) -> int:
+        """Upper bound on the effective threshold."""
+        return self._ceiling
+
+    @property
+    def rate_estimate(self) -> float:
+        """Smoothed arrivals-per-window estimate over closed epochs."""
+        return self._rate
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveInterestPolicy(window={self._window}, "
+            f"floor={self._floor}, ceiling={self._ceiling}, "
             f"threshold={self._threshold}, rate={self._rate:.4g})"
         )

@@ -22,7 +22,7 @@ from repro.workload.storms import StormPlan
 
 TOPOLOGIES = ("random-tree", "chord", "can", "balanced", "chain", "star")
 ARRIVALS = ("exponential", "pareto")
-INTEREST_POLICIES = ("window", "ewma")
+INTEREST_POLICIES = ("window", "ewma", "adaptive")
 
 
 @dataclass(frozen=True)
@@ -67,7 +67,17 @@ class SimulationConfig:
         (trees derived from real DHT routing paths), or a regular shape
         for tests.
     interest_policy:
-        ``"window"`` (the paper's) or ``"ewma"`` (ablation).
+        ``"window"`` (the paper's), ``"ewma"`` (ablation), or
+        ``"adaptive"`` (per-node self-tuning threshold; the policy the
+        ``dup-adaptive`` scheme selects regardless of this field).
+    threshold_floor / threshold_ceiling:
+        Hard bounds on the adaptive policy's per-node threshold.  With
+        ``floor == ceiling == threshold_c`` the adaptive policy is
+        bit-identical to the static window policy.
+    adaptive_gain:
+        Scales the adaptive policy's observed per-window query rate
+        into a threshold (a node seeing ``r`` queries per TTL settles
+        near ``round(adaptive_gain * r)``, clamped to the bounds).
     warmup:
         Metrics (latency and cost) ignore everything before this time.
     seed:
@@ -181,6 +191,9 @@ class SimulationConfig:
     duration: float = 180_000.0
     topology: str = "random-tree"
     interest_policy: str = "window"
+    threshold_floor: int = 2
+    threshold_ceiling: int = 10
+    adaptive_gain: float = 0.5
     warmup: float = 3600.0
     seed: int = 1
     root_queries: bool = False
@@ -264,6 +277,19 @@ class SimulationConfig:
             raise ConfigError(
                 f"interest_policy must be one of {INTEREST_POLICIES}, "
                 f"got {self.interest_policy!r}"
+            )
+        if self.threshold_floor < 0:
+            raise ConfigError(
+                f"threshold_floor must be >= 0, got {self.threshold_floor}"
+            )
+        if self.threshold_ceiling < self.threshold_floor:
+            raise ConfigError(
+                f"threshold_ceiling ({self.threshold_ceiling}) must be >= "
+                f"threshold_floor ({self.threshold_floor})"
+            )
+        if self.adaptive_gain < 0:
+            raise ConfigError(
+                f"adaptive_gain must be >= 0, got {self.adaptive_gain}"
             )
         if self.faults is not None:
             self.faults.validate()

@@ -23,7 +23,11 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.core.interest import EwmaInterestPolicy, WindowInterestPolicy
+from repro.core.interest import (
+    AdaptiveInterestPolicy,
+    EwmaInterestPolicy,
+    WindowInterestPolicy,
+)
 from repro.engine.config import SimulationConfig
 from repro.engine.results import SimulationResult
 from repro.errors import ConfigError
@@ -64,6 +68,7 @@ class _KeySlice:
         self.key = key
         self.tree = tree
         self.authority: Optional[Authority] = None
+        self.scheme: Optional[object] = None
 
     # -- shared state --------------------------------------------------------
     @property
@@ -150,10 +155,26 @@ class _KeySlice:
         """Interface parity: annotations are dropped (no tracer here)."""
 
     def make_interest_policy(self):
-        """Per-node, per-key interest policy."""
+        """Per-node, per-key interest policy.
+
+        Mirrors :meth:`Simulation.make_interest_policy`, including the
+        scheme-level ``interest_policy_override`` consult (the scheme
+        back-reference is set when the slice is wired up).
+        """
         config = self.config
-        if config.interest_policy == "window":
+        kind = (
+            getattr(self.scheme, "interest_policy_override", None)
+            or config.interest_policy
+        )
+        if kind == "window":
             return WindowInterestPolicy(config.ttl, config.threshold_c)
+        if kind == "adaptive":
+            return AdaptiveInterestPolicy(
+                config.ttl,
+                config.threshold_floor,
+                config.threshold_ceiling,
+                config.adaptive_gain,
+            )
         return EwmaInterestPolicy(config.ttl, config.threshold_c)
 
     def forget_node(self, node: NodeId) -> None:  # pragma: no cover - no churn
@@ -224,6 +245,7 @@ class MultiKeySimulation:
             tree = chord_search_tree(self.ring, key)
             slice_ = _KeySlice(self, key, tree)
             scheme = make_scheme(config.scheme)
+            slice_.scheme = scheme
             scheme.bind(slice_)
             self.slices[key] = slice_
             self.schemes[key] = scheme

@@ -27,7 +27,11 @@ import time
 from typing import Optional
 
 from repro import flightrec
-from repro.core.interest import EwmaInterestPolicy, WindowInterestPolicy
+from repro.core.interest import (
+    AdaptiveInterestPolicy,
+    EwmaInterestPolicy,
+    WindowInterestPolicy,
+)
 from repro.engine.config import SimulationConfig
 from repro.engine.results import SimulationResult
 from repro.errors import ConfigError
@@ -648,10 +652,26 @@ class Simulation:
         self._caches.pop(node, None)
 
     def make_interest_policy(self):
-        """A fresh per-node interest policy per the configuration."""
-        if self.config.interest_policy == "window":
-            return WindowInterestPolicy(self.config.ttl, self.config.threshold_c)
-        return EwmaInterestPolicy(self.config.ttl, self.config.threshold_c)
+        """A fresh per-node interest policy per the configuration.
+
+        A scheme may force a policy kind via an ``interest_policy_override``
+        class attribute (``dup-adaptive`` does) regardless of the config.
+        """
+        config = self.config
+        kind = (
+            getattr(self.scheme, "interest_policy_override", None)
+            or config.interest_policy
+        )
+        if kind == "window":
+            return WindowInterestPolicy(config.ttl, config.threshold_c)
+        if kind == "adaptive":
+            return AdaptiveInterestPolicy(
+                config.ttl,
+                config.threshold_floor,
+                config.threshold_ceiling,
+                config.adaptive_gain,
+            )
+        return EwmaInterestPolicy(config.ttl, config.threshold_c)
 
     def allocate_node_id(self) -> NodeId:
         """A fresh node id for a joining node."""
@@ -1164,12 +1184,26 @@ class Simulation:
                 extras["rejected_subscribers"] = (
                     self.scheme.rejected_subscribers
                 )
+            # Emitted for every DUP-family scheme (plain dup reports 0
+            # splits) so the extras key set is identical across family
+            # members — the differential harness compares them verbatim.
+            if hasattr(self.scheme, "split_subscribers"):
+                extras["split_subscribers"] = self.scheme.split_subscribers
+                extras["reabsorbed_subscribers"] = (
+                    self.scheme.reabsorbed_subscribers
+                )
+            if hasattr(self.scheme, "max_fanout"):
+                extras["dup_max_fanout"] = self.scheme.max_fanout()
             if self.authority is not None:
                 extras["authority_coalesced_updates"] = (
                     self.authority.coalesced_updates
                 )
         if self.storms is not None:
             extras.update(self.storms.counters())
+        if hasattr(self.scheme, "threshold_bounds"):
+            bounds = self.scheme.threshold_bounds()
+            if bounds is not None:
+                extras["threshold_min"], extras["threshold_max"] = bounds
         if self.config.lease_ttl > 0 and hasattr(
             self.scheme, "lease_expiries"
         ):

@@ -8,6 +8,7 @@ from repro.engine.parallel import TrialFailure
 from repro.errors import ExperimentError
 from repro.experiments import (
     ablations,
+    adaptive_study,
     churn_study,
     convergence,
     figure4_arrival_rate,
@@ -36,6 +37,7 @@ _REGISTRY: dict[str, Callable] = {
     "resilience": resilience_study.run,
     "partition": partition_study.run,
     "overload": overload_study.run,
+    "adaptive": adaptive_study.run,
     "paper-spotcheck": paper_spotcheck.run,
     "ablations": ablations.run,
     "ablation-cutoff": ablations.run_cut_off,
@@ -76,6 +78,7 @@ def run_all(
             "resilience",
             "partition",
             "overload",
+            "adaptive",
         ) or name.startswith(
             "ablation-"
         ):

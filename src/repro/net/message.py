@@ -116,6 +116,36 @@ class SubscribeNack:
 
 
 @dataclass(frozen=True, slots=True)
+class Delegate:
+    """Load balancing: ``delegator`` hands ``subject`` to the receiver.
+
+    Sent point-to-point by a ``dup-balanced`` interior node at its fanout
+    cap to its best-ranked existing subscriber-list entry.  The receiver
+    processes ``Subscribe(subject)`` locally — the split promotes it to
+    relay duty for the subject — while the delegator remembers the
+    mapping so renewals, unsubscribes, substitutes, and lease refreshes
+    for the subject route to the delegate instead of the local list.
+    """
+
+    subject: NodeId
+    delegator: NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class Reclaim:
+    """Load balancing: ``delegator`` takes ``subject`` back.
+
+    Sent point-to-point when a delegated subject unsubscribes or when
+    the delegator's fanout has drained below the cap and it reabsorbs
+    the subject into its own list.  The receiver processes
+    ``Unsubscribe(subject)`` locally, dissolving the split branch.
+    """
+
+    subject: NodeId
+    delegator: NodeId
+
+
+@dataclass(frozen=True, slots=True)
 class CupRegister:
     """CUP: ``child`` registers with the receiving node for pushes."""
 

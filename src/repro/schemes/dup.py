@@ -289,6 +289,19 @@ class DupScheme(PathCachingScheme):
         """Subscribes refused (and redirected) by capped interior nodes."""
         return self._rejected_subscribers
 
+    @property
+    def split_subscribers(self) -> int:
+        """Subscribes delegated sideways by capped nodes (``dup-balanced``
+        overrides; 0 here so extras stay key-identical across the DUP
+        family, which the differential harness relies on)."""
+        return 0
+
+    @property
+    def reabsorbed_subscribers(self) -> int:
+        """Delegated subjects taken back after load drained
+        (``dup-balanced`` overrides; 0 here)."""
+        return 0
+
     # -- pushes ---------------------------------------------------------------
     def on_new_version(self, version) -> None:
         self._push_to_targets(self.sim.tree.root, version)
@@ -552,3 +565,32 @@ class DupScheme(PathCachingScheme):
                     reachable.add(target)
                     frontier.append(target)
         return len(reachable)
+
+    def threshold_bounds(self) -> Optional[tuple[int, int]]:
+        """(min, max) effective interest threshold across live trackers.
+
+        For the static window policy both bounds equal ``threshold_c``;
+        under the adaptive policy they expose the spread the per-node
+        tuning produced.  ``None`` when no node has a tracker yet.
+        """
+        thresholds = [
+            tracker.threshold
+            for tracker in self._trackers.values()
+            if hasattr(tracker, "threshold")
+        ]
+        if not thresholds:
+            return None
+        return (min(thresholds), max(thresholds))
+
+    def max_fanout(self) -> int:
+        """Largest subscriber fanout over all nodes holding DUP state
+        (entries other than the node itself; the quantity the overload
+        layer's ``max_subscribers`` cap bounds)."""
+        protocol = self.protocol
+        best = 0
+        for node in protocol.nodes_with_state():
+            s_list = protocol.s_list(node)
+            fanout = sum(1 for entry in s_list if entry != node)
+            if fanout > best:
+                best = fanout
+        return best

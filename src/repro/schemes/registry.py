@@ -10,6 +10,8 @@ from repro.schemes.cup import CupScheme
 from repro.schemes.cup_ideal import CupIdealScheme
 from repro.schemes.cup_popularity import CupPopularityScheme
 from repro.schemes.dup import DupScheme
+from repro.schemes.dup_adaptive import DupAdaptiveScheme
+from repro.schemes.dup_balanced import DupBalancedScheme
 from repro.schemes.dup_invalidate import DupInvalidateScheme
 from repro.schemes.nocache import NoCacheScheme
 from repro.schemes.pcx import PcxScheme
@@ -21,6 +23,8 @@ _REGISTRY: dict[str, Callable[[], Scheme]] = {
     CupIdealScheme.name: CupIdealScheme,
     CupPopularityScheme.name: CupPopularityScheme,
     DupScheme.name: DupScheme,
+    DupAdaptiveScheme.name: DupAdaptiveScheme,
+    DupBalancedScheme.name: DupBalancedScheme,
     DupInvalidateScheme.name: DupInvalidateScheme,
     NoCacheScheme.name: NoCacheScheme,
     PushAllScheme.name: PushAllScheme,

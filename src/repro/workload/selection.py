@@ -86,9 +86,19 @@ class ZipfNodeSelector:
         again, and the Zipf head is warm almost by definition.  Falls
         back to a coldest-first scan, then ``None``, like
         :meth:`sample_alive`.
+
+        ``fraction`` is the share of the ranking (coldest end) eligible
+        for the draw.  Values above 1 are clamped to the whole
+        population; the tail always contains at least the coldest node,
+        even when ``total * fraction`` rounds to zero.
         """
+        if fraction <= 0:
+            raise WorkloadError(
+                f"tail fraction must be positive, got {fraction}"
+            )
+        fraction = min(fraction, 1.0)
         total = len(self._ranked)
-        start = min(total - 1, int(total * (1.0 - fraction)))
+        start = max(0, min(total - 1, int(total * (1.0 - fraction))))
         tail = self._ranked[start:]
         for _ in range(attempts):
             node = tail[int(rng.integers(len(tail)))]

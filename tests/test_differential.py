@@ -1,0 +1,147 @@
+"""Differential proofs for the adaptive and balanced DUP variants (PR 8).
+
+Each equivalence below is a *reduction*: a new scheme configured so its
+new mechanism cannot engage must be bit-identical — full metric
+fingerprint, extras included — to plain ``dup`` on the same (seed,
+workload, fault-plan) input.  The divergence tests keep the harness
+honest: the same pairs must differ once the mechanism does engage.
+"""
+
+from __future__ import annotations
+
+from tests.differential import (
+    assert_divergent,
+    assert_equivalent,
+    diff_fields,
+    metric_fingerprint,
+)
+from repro.engine import SimulationConfig, run_replications
+from repro.net.overload import OverloadPlan
+
+SMOKE = dict(
+    num_nodes=64,
+    duration=3600.0 * 2,
+    warmup=1800.0,
+    query_rate=3.0,
+    ttl=600.0,
+    push_lead=60.0,
+)
+
+
+def smoke_config(scheme: str, seed: int = 3, **overrides) -> SimulationConfig:
+    return SimulationConfig(scheme=scheme, seed=seed, **SMOKE, **overrides)
+
+
+class TestAdaptiveReduction:
+    """dup-adaptive with a frozen rate collapses to dup at static c."""
+
+    def test_frozen_rate_matches_static_threshold(self):
+        for c in (4, 6):
+            assert_equivalent(
+                smoke_config(
+                    "dup-adaptive",
+                    threshold_floor=c,
+                    threshold_ceiling=c,
+                ),
+                smoke_config("dup", threshold_c=c),
+                context=f"frozen adaptive vs static c={c}",
+            )
+
+    def test_frozen_rate_matches_under_faults_and_churn(self):
+        from repro.net.faults import FaultPlan
+        from repro.workload.churn import ChurnConfig
+
+        overrides = dict(
+            faults=FaultPlan(loss_rate=0.05),
+            retry_budget=3,
+            lease_ttl=300.0,
+            churn=ChurnConfig(join_rate=0.002, leave_rate=0.002),
+        )
+        assert_equivalent(
+            smoke_config(
+                "dup-adaptive",
+                threshold_floor=6,
+                threshold_ceiling=6,
+                **overrides,
+            ),
+            smoke_config("dup", threshold_c=6, **overrides),
+            context="frozen adaptive under loss + churn",
+        )
+
+    def test_moving_threshold_diverges(self):
+        left, right = assert_divergent(
+            smoke_config(
+                "dup-adaptive", threshold_floor=2, threshold_ceiling=10
+            ),
+            smoke_config("dup", threshold_c=6),
+            context="adaptive with open bounds",
+        )
+        # The divergence is the threshold actually moving.
+        assert left.extras["threshold_min"] < left.extras["threshold_max"]
+        assert right.extras["threshold_min"] == right.extras["threshold_max"]
+
+
+class TestBalancedReduction:
+    """dup-balanced below its cap is bit-identical to dup."""
+
+    def test_no_cap_matches_dup(self):
+        assert_equivalent(
+            smoke_config("dup-balanced"),
+            smoke_config("dup"),
+            context="balanced with the overload layer off",
+        )
+
+    def test_non_binding_cap_matches_dup(self):
+        # Cap far above any fanout this workload produces: the balancer
+        # code path exists but never engages on either side.
+        plan = OverloadPlan(max_subscribers=32)
+        left, right = assert_equivalent(
+            smoke_config("dup-balanced", overload=plan),
+            smoke_config("dup", overload=plan),
+            context="balanced under a non-binding cap",
+        )
+        assert left.extras["split_subscribers"] == 0
+        assert left.extras["rejected_subscribers"] == 0
+        assert left.extras["dup_max_fanout"] <= 32
+
+    def test_binding_cap_diverges_and_splits(self):
+        plan = OverloadPlan(max_subscribers=3)
+        left, right = assert_divergent(
+            smoke_config("dup-balanced", overload=plan),
+            smoke_config("dup", overload=plan),
+            context="balanced under a binding cap",
+        )
+        assert left.extras["split_subscribers"] > 0
+        # Splitting spreads load down; redirecting concentrates it up.
+        assert left.extras["dup_max_fanout"] <= right.extras["dup_max_fanout"]
+        assert right.extras["rejected_subscribers"] > 0
+
+    def test_diff_fields_names_the_divergence(self):
+        plan = OverloadPlan(max_subscribers=3)
+        from repro.engine.simulation import Simulation
+
+        left = Simulation(smoke_config("dup-balanced", overload=plan)).run()
+        right = Simulation(smoke_config("dup", overload=plan)).run()
+        assert metric_fingerprint(left) != metric_fingerprint(right)
+        diffs = diff_fields(left, right)
+        assert "extras" in diffs
+
+
+class TestNewSchemesParallelEquivalence:
+    """Satellite: serial == parallel (workers 1 vs 4) for both variants."""
+
+    def fingerprints(self, config, workers):
+        summary = run_replications(config, replications=2, workers=workers)
+        return [metric_fingerprint(r) for r in summary.runs]
+
+    def test_dup_adaptive_workers_1_vs_4(self):
+        config = smoke_config(
+            "dup-adaptive", threshold_floor=2, threshold_ceiling=10
+        )
+        assert self.fingerprints(config, 1) == self.fingerprints(config, 4)
+
+    def test_dup_balanced_workers_1_vs_4(self):
+        config = smoke_config(
+            "dup-balanced", overload=OverloadPlan(max_subscribers=3)
+        )
+        assert self.fingerprints(config, 1) == self.fingerprints(config, 4)

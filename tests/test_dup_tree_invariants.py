@@ -25,8 +25,11 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.balance import DupBalancer
+from repro.core.protocol import StepResult
 from repro.net.message import Subscribe, Substitute
 from repro.topology import random_search_tree
+from repro.topology.tree import SearchTree
 
 from tests.conftest import SyncDupDriver
 
@@ -147,13 +150,13 @@ OPS = ("sub", "unsub", "fail", "repair", "join-leaf", "leave")
 
 
 @st.composite
-def history(draw):
+def history(draw, ops=OPS):
     """A random tree plus an interleaved operation sequence."""
     size = draw(st.integers(3, 32))
     seed = draw(st.integers(0, 2**31))
     steps = draw(
         st.lists(
-            st.tuples(st.sampled_from(OPS), st.integers(0, 2**31)),
+            st.tuples(st.sampled_from(ops), st.integers(0, 2**31)),
             min_size=1,
             max_size=35,
         )
@@ -295,6 +298,253 @@ class TestExplicitSubstitute:
         driver._walk(6, step.upstream)
         assert_all(driver)
         assert driver.push_recipients() >= {4, 7, 8}
+
+
+# -- dup-balanced: the fanout-capped driver ----------------------------------
+
+
+class SyncBalancedDriver(SyncDupDriver):
+    """:class:`SyncDupDriver` with the ``dup-balanced`` split pipeline.
+
+    Mirrors :class:`~repro.schemes.dup_balanced.DupBalancedScheme` hop by
+    hop: every control payload first passes the balancer (delegation
+    payloads, delegated-subject routing, redirect relays,
+    split-or-refuse), falling through to the plain protocol step; each
+    visited node rebalances afterwards.  Point-to-point payloads
+    (Delegate / Reclaim / forwarded Substitute) deliver synchronously.
+    """
+
+    def __init__(self, tree: SearchTree, cap: int):
+        super().__init__(tree)
+        self.redirected: dict[int, set[int]] = {}
+        self.rejections = 0
+        self.balancer = DupBalancer(
+            self.protocol,
+            cap,
+            redirected=self.redirected,
+            alive=lambda n: n in self.tree,
+            is_root=lambda n: n == self.tree.root,
+            send_down=self._deliver,
+            on_reject=self._count_reject,
+        )
+
+    def _count_reject(self, node: int, subject: int) -> None:
+        self.rejections += 1
+
+    def _deliver(self, sender: int, target: int, payload: object) -> None:
+        if target not in self.tree:
+            return
+        self._walk(target, self._apply(target, [payload]))
+
+    def _apply(self, node: int, payloads: list) -> list:
+        """One node's control round: balancer pipeline, step, rebalance."""
+        upstream: list = []
+        for payload in payloads:
+            combined = StepResult()
+            if not self.balancer.handle(node, payload, combined):
+                combined.merge(self.protocol.step(node, payload))
+            upstream.extend(combined.upstream)
+        extra = self.balancer.rebalance(node)
+        if extra is not None:
+            upstream.extend(extra.upstream)
+        return upstream
+
+    def _walk(self, from_node: int, payloads: list) -> None:
+        current = from_node
+        pending = list(payloads)
+        while pending:
+            parent = self.tree.parent(current)
+            if parent is None:
+                break
+            self.control_hops += len(pending)
+            pending = self._apply(parent, pending)
+            current = parent
+
+    # -- churn: unwind delegation state before repair, re-home after ---------
+    def fail(self, node: int) -> None:
+        self.interested.discard(node)
+        orphans = self.balancer.node_gone(node)
+        self.redirected.pop(node, None)
+        self.maintenance.node_failed(node)
+        self._rehome(orphans, node)
+
+    def leave(self, node: int) -> None:
+        self.interested.discard(node)
+        orphans = self.balancer.node_gone(node)
+        self.redirected.pop(node, None)
+        self.maintenance.node_left(node)
+        self._rehome(orphans, node)
+
+    def _rehome(self, orphans: list, dead: int) -> None:
+        for delegator, subject in orphans:
+            if delegator not in self.tree or subject == dead:
+                continue
+            if subject not in self.tree or subject == delegator:
+                continue
+            if subject in self.protocol.s_list(delegator):
+                continue
+            under_cap = (
+                self.balancer.fanout(delegator) < self.balancer.cap
+            )
+            if delegator == self.tree.root or under_cap:
+                result = self.protocol.step(delegator, Subscribe(subject))
+                self._walk(delegator, result.upstream)
+                continue
+            target = self.balancer.choose_delegate(delegator, subject)
+            if target is not None:
+                self.balancer.delegate(delegator, subject, target)
+                continue
+            self.redirected.setdefault(delegator, set()).add(subject)
+            self._walk(delegator, [Subscribe(subject)])
+
+
+def assert_capped(driver: SyncBalancedDriver) -> None:
+    offenders = driver.balancer.check_caps()
+    assert offenders == [], (
+        f"cap {driver.balancer.cap} exceeded at {offenders}: "
+        f"{[sorted(driver.s_list(n)) for n in offenders]}"
+    )
+
+
+class TestBalancedCapInvariant:
+    """Satellite: the fanout cap holds after *any* interleaving."""
+
+    @given(history(), st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_cap_never_exceeded_under_full_interleaving(self, scenario, cap):
+        size, seed, steps = scenario
+        tree = random_search_tree(size, 4, np.random.default_rng(seed))
+        driver = SyncBalancedDriver(tree, cap)
+        next_id = size
+        for i in range(len(steps)):
+            next_id = _drive(driver, steps[i : i + 1], next_id)
+            assert_capped(driver)
+            assert_push_graph_acyclic(driver)
+
+    @given(history(), st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_never_drops_under_churn(self, scenario, cap):
+        # Delegator failure may leak an entry at its delegate (decays via
+        # leases in the engine), so under churn the assertable direction
+        # is: every interested survivor still receives pushes.
+        size, seed, steps = scenario
+        tree = random_search_tree(size, 4, np.random.default_rng(seed))
+        driver = SyncBalancedDriver(tree, cap)
+        next_id = size
+        for i in range(len(steps)):
+            next_id = _drive(driver, steps[i : i + 1], next_id)
+            reached = driver.push_recipients()
+            missing = driver.interested - {tree.root} - reached
+            assert not missing, f"interested but unreached: {sorted(missing)}"
+
+    @given(history(ops=("sub", "unsub")), st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_coverage_churn_free(self, scenario, cap):
+        # Without churn there are no delegation leaks: the full exact-
+        # coverage oracle must hold after every step, cap included.
+        size, seed, steps = scenario
+        tree = random_search_tree(size, 4, np.random.default_rng(seed))
+        driver = SyncBalancedDriver(tree, cap)
+        next_id = size
+        for i in range(len(steps)):
+            next_id = _drive(driver, steps[i : i + 1], next_id)
+            assert_capped(driver)
+            assert_push_graph_acyclic(driver)
+            assert_exact_coverage(driver)
+
+    @given(history(ops=("sub", "unsub")), st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_delegations_drain_with_interest(self, scenario, cap):
+        size, seed, steps = scenario
+        tree = random_search_tree(size, 4, np.random.default_rng(seed))
+        driver = SyncBalancedDriver(tree, cap)
+        _drive(driver, steps, size)
+        for node in sorted(driver.interested - {tree.root}):
+            driver.unsubscribe(node)
+        assert driver.balancer.delegated_count() == 0, (
+            f"splits survived total drain: "
+            f"{ {n: driver.balancer.delegations_of(n) for n in tree.nodes if driver.balancer.delegations_of(n)} }"
+        )
+        assert driver.push_recipients() == set()
+        assert_capped(driver)
+
+
+class TestBalancedSplitReabsorb:
+    """Deterministic split / reabsorb mechanics on a star topology."""
+
+    def star(self, children: int = 6) -> SearchTree:
+        # root(1) -> hub(2) -> leaves 3..(2 + children)
+        tree = SearchTree(root=1)
+        tree.add_leaf(1, 2)
+        for leaf in range(3, 3 + children):
+            tree.add_leaf(2, leaf)
+        return tree
+
+    def test_split_promotes_best_ranked_entry(self):
+        driver = SyncBalancedDriver(self.star(), cap=3)
+        for leaf in (3, 4, 5):
+            driver.subscribe(leaf)
+        assert driver.s_list(2) == {3, 4, 5}
+        driver.subscribe(6)
+        # Hub 2 is capped; entry 3 has the least (fanout, id) rank.
+        assert driver.balancer.delegate_for(2, 6) == 3
+        assert driver.s_list(3) == {3, 6}
+        assert driver.balancer.fanout(2) == 3
+        assert driver.balancer.splits == 1
+        assert driver.rejections == 0
+        # Round-robin by load: the next splits land on 4 then 5.
+        driver.subscribe(7)
+        driver.subscribe(8)
+        assert driver.balancer.delegate_for(2, 7) == 4
+        assert driver.balancer.delegate_for(2, 8) == 5
+        assert_capped(driver)
+        assert_push_graph_acyclic(driver)
+        assert_exact_coverage(driver)
+
+    def test_reabsorbed_when_load_drains(self):
+        driver = SyncBalancedDriver(self.star(), cap=2)
+        for leaf in (3, 4, 5, 6):
+            driver.subscribe(leaf)
+        assert driver.balancer.delegated_count() == 2
+        # Draining the hub's direct entries pulls the delegated subjects
+        # back in; the splits dissolve.
+        driver.unsubscribe(3)
+        driver.unsubscribe(5)
+        driver.unsubscribe(4)
+        assert driver.balancer.reabsorbed >= 1
+        assert driver.balancer.delegated_count() == 0
+        assert driver.push_recipients() >= {6}
+        assert_capped(driver)
+        assert_exact_coverage(driver)
+        driver.unsubscribe(6)
+        assert driver.push_recipients() == set()
+
+    def test_refusal_fallback_when_no_candidate(self):
+        driver = SyncBalancedDriver(self.star(), cap=1)
+        driver.subscribe(3)
+        driver.subscribe(4)  # split: 3 takes 4
+        assert driver.balancer.delegate_for(2, 4) == 3
+        driver.subscribe(5)  # 3 is itself capped now: PR-7 refusal
+        assert driver.rejections == 1
+        assert 5 in driver.redirected.get(2, set())
+        # The redirect lands the subject at the root, coverage intact.
+        assert driver.s_list(1) >= {5}
+        assert driver.push_recipients() >= {3, 4, 5}
+        assert_capped(driver)
+
+    def test_delegate_failure_rehomes_orphans(self):
+        driver = SyncBalancedDriver(self.star(), cap=2)
+        for leaf in (3, 4, 5, 6):
+            driver.subscribe(leaf)
+        delegate = driver.balancer.delegate_for(2, 5)
+        assert delegate is not None
+        driver.fail(delegate)
+        assert driver.balancer.delegated_count() <= 2
+        reached = driver.push_recipients()
+        missing = driver.interested - {1} - reached
+        assert not missing, f"orphans lost after delegate death: {missing}"
+        assert_capped(driver)
+        assert_push_graph_acyclic(driver)
 
 
 class TestFailureRepair:

@@ -102,3 +102,9 @@ class TestGoldens:
             scale="smoke", replications=1, seed=1
         )
         check_golden(result, "overload_smoke", update_goldens)
+
+    def test_adaptive_smoke_matches_golden(self, update_goldens):
+        result = get_experiment("adaptive")(
+            scale="smoke", replications=1, seed=1
+        )
+        check_golden(result, "adaptive_smoke", update_goldens)

@@ -1,9 +1,15 @@
-"""Unit tests for the interest measurement policies."""
+"""Unit and metamorphic tests for the interest measurement policies."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.interest_model import predicted_dup_relative_push_cost
-from repro.core.interest import EwmaInterestPolicy, WindowInterestPolicy
+from repro.core.interest import (
+    AdaptiveInterestPolicy,
+    EwmaInterestPolicy,
+    WindowInterestPolicy,
+)
 from repro.errors import ConfigError
 
 
@@ -113,6 +119,183 @@ class TestEwmaPolicy:
         policy.is_interested(5.0)
         policy.record(11.0)
         assert policy.is_interested(11.5)
+
+
+#: Interleavings of arrivals and probes as (op, gap) steps.  Gaps are
+#: quarter-unit multiples so that scaling by a power of two stays exact
+#: in binary floating point — the window-boundary comparison is half-open
+#: and must not flip from rounding.
+_history = st.lists(
+    st.tuples(st.sampled_from(("record", "probe")), st.integers(0, 80)),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestWindowMetamorphic:
+    """Satellite: metamorphic properties of WindowInterestPolicy."""
+
+    @given(_history, st.sampled_from((0.25, 0.5, 2.0, 4.0)), st.integers(0, 5))
+    @settings(max_examples=200, deadline=None)
+    def test_timestamp_scaling_invariance(self, steps, k, threshold):
+        # Scaling every timestamp AND the window by the same factor must
+        # leave every interest decision unchanged: the policy measures a
+        # pure count over a relative interval, not absolute time.
+        base = WindowInterestPolicy(window=16.0, threshold=threshold)
+        scaled = WindowInterestPolicy(window=16.0 * k, threshold=threshold)
+        t = 0.0
+        for op, gap in steps:
+            t += gap * 0.25
+            if op == "record":
+                base.record(t)
+                scaled.record(t * k)
+            else:
+                assert base.is_interested(t) == scaled.is_interested(t * k)
+        assert base.count(t) == scaled.count(t * k)
+
+
+class TestAdaptivePolicy:
+    """Unit behaviour of the self-tuning threshold."""
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            AdaptiveInterestPolicy(window=0.0, floor=1, ceiling=2)
+        with pytest.raises(ConfigError):
+            AdaptiveInterestPolicy(window=10.0, floor=-1, ceiling=2)
+        with pytest.raises(ConfigError):
+            AdaptiveInterestPolicy(window=10.0, floor=3, ceiling=2)
+        with pytest.raises(ConfigError):
+            AdaptiveInterestPolicy(window=10.0, floor=1, ceiling=2, gain=-0.1)
+        with pytest.raises(ConfigError):
+            AdaptiveInterestPolicy(
+                window=10.0, floor=1, ceiling=2, smoothing=0.0
+            )
+
+    def test_constant_rate_settles_threshold(self):
+        # 8 arrivals per epoch, gain 0.5: the smoothed rate converges to
+        # 8 and the threshold settles at round(0.5 * 8) = 4.
+        policy = AdaptiveInterestPolicy(
+            window=100.0, floor=0, ceiling=50, gain=0.5
+        )
+        for epoch in range(30):
+            for j in range(8):
+                policy.record(epoch * 100.0 + 5.0 + j * 10.0)
+        policy.is_interested(30 * 100.0)
+        assert policy.rate_estimate == pytest.approx(8.0, abs=1e-6)
+        assert policy.threshold == 4
+
+    def test_idle_decay_returns_threshold_to_floor(self):
+        policy = AdaptiveInterestPolicy(
+            window=100.0, floor=2, ceiling=50, gain=1.0
+        )
+        for epoch in range(10):
+            for j in range(10):
+                policy.record(epoch * 100.0 + 5.0 + j * 9.0)
+        policy.is_interested(10 * 100.0)
+        assert policy.threshold > 2
+        # A long idle stretch folds in as zero-count epochs; the rate
+        # estimate collapses and the threshold falls back to the floor.
+        assert not policy.is_interested(10 * 100.0 + 40 * 100.0)
+        assert policy.threshold == 2
+
+    def test_probing_the_past_does_not_corrupt_state(self):
+        policy = AdaptiveInterestPolicy(window=100.0, floor=0, ceiling=10)
+        policy.record(150.0)
+        policy.is_interested(50.0)
+        policy.record(160.0)
+        assert policy.count(170.0) == 2
+
+
+class TestAdaptiveMetamorphic:
+    """Satellite: metamorphic properties of AdaptiveInterestPolicy."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(0, 3),
+        st.integers(5, 12),
+        st.sampled_from((0.25, 0.5, 1.0)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_threshold_monotone_in_observed_rate(
+        self, epochs, floor, ceiling, gain
+    ):
+        # Pointwise-greater per-epoch arrival counts can never produce a
+        # *smaller* threshold: the smoothed rate is a positive-weighted
+        # sum of epoch counts and clamp(round(gain * rate)) is monotone.
+        window = 10.0
+        hi = AdaptiveInterestPolicy(window, floor, ceiling, gain)
+        lo = AdaptiveInterestPolicy(window, floor, ceiling, gain)
+        for index, (a, b) in enumerate(epochs):
+            lo_count, hi_count = min(a, b), max(a, b)
+            start = index * window
+            for j in range(hi_count):
+                t = start + (j + 1) * window / (hi_count + 1)
+                hi.record(t)
+                if j < lo_count:
+                    lo.record(t)
+            close = (index + 1) * window
+            hi.is_interested(close)
+            lo.is_interested(close)
+            assert hi.threshold >= lo.threshold
+            assert hi.rate_estimate >= lo.rate_estimate
+
+    @given(_history, st.integers(0, 6))
+    @settings(max_examples=200, deadline=None)
+    def test_frozen_bounds_match_window_policy(self, steps, c):
+        # floor == ceiling == c pins the threshold: every decision must
+        # match the static policy exactly (the unit-level face of the
+        # simulation-level equivalence in test_differential.py).
+        frozen = AdaptiveInterestPolicy(window=25.0, floor=c, ceiling=c)
+        static = WindowInterestPolicy(window=25.0, threshold=c)
+        t = 0.0
+        for op, gap in steps:
+            t += gap * 0.25
+            if op == "record":
+                frozen.record(t)
+                static.record(t)
+            else:
+                assert frozen.is_interested(t) == static.is_interested(t)
+        assert frozen.threshold == c
+        assert frozen.count(t) == static.count(t)
+
+    @given(_history, st.sampled_from((0.25, 0.5, 2.0, 4.0)))
+    @settings(max_examples=200, deadline=None)
+    def test_timestamp_scaling_invariance(self, steps, k):
+        # Epochs scale with the window, so the whole estimator — not
+        # just the decision rule — is invariant under time rescaling.
+        base = AdaptiveInterestPolicy(16.0, floor=1, ceiling=8, gain=0.5)
+        scaled = AdaptiveInterestPolicy(
+            16.0 * k, floor=1, ceiling=8, gain=0.5
+        )
+        t = 0.0
+        for op, gap in steps:
+            t += gap * 0.25
+            if op == "record":
+                base.record(t)
+                scaled.record(t * k)
+            else:
+                assert base.is_interested(t) == scaled.is_interested(t * k)
+        assert base.threshold == scaled.threshold
+        assert base.rate_estimate == pytest.approx(scaled.rate_estimate)
+
+    @given(_history, st.integers(0, 4), st.integers(4, 9))
+    @settings(max_examples=200, deadline=None)
+    def test_threshold_always_within_bounds(self, steps, floor, ceiling):
+        policy = AdaptiveInterestPolicy(
+            window=16.0, floor=floor, ceiling=ceiling, gain=2.0
+        )
+        t = 0.0
+        for op, gap in steps:
+            t += gap * 0.25
+            if op == "record":
+                policy.record(t)
+            else:
+                policy.is_interested(t)
+            assert floor <= policy.threshold <= ceiling
 
 
 class TestEnvelopeHelper:

@@ -98,6 +98,60 @@ class TestZipfNodeSelector:
             ZipfNodeSelector([], theta=1.0, rng=rng())
 
 
+class TestSampleTail:
+    """Boundary behaviour of the cold-tail draw (ISSUE: satellite)."""
+
+    def test_draws_come_from_the_cold_tail(self):
+        selector = ZipfNodeSelector(list(range(20)), theta=1.0, rng=rng(20))
+        cold_half = set(selector.hottest(20)[10:])
+        generator = rng(21)
+        for _ in range(200):
+            node = selector.sample_tail(generator, lambda n: True, 0.5)
+            assert node in cold_half
+
+    def test_non_positive_fraction_rejected(self):
+        selector = ZipfNodeSelector(list(range(5)), theta=1.0, rng=rng(22))
+        for fraction in (0.0, -0.5):
+            with pytest.raises(WorkloadError):
+                selector.sample_tail(rng(23), lambda n: True, fraction)
+
+    def test_fraction_above_one_clamps_to_whole_population(self):
+        nodes = list(range(8))
+        selector = ZipfNodeSelector(nodes, theta=0.0, rng=rng(24))
+        generator = rng(25)
+        drawn = {
+            selector.sample_tail(generator, lambda n: True, 5.0)
+            for _ in range(400)
+        }
+        # Pre-fix, 1 - fraction went negative and the slice start
+        # underflowed; clamped, the tail is exactly the whole ranking.
+        assert drawn == set(nodes)
+
+    def test_tiny_fraction_still_yields_the_coldest_node(self):
+        # total * fraction rounds to zero: the tail must keep at least
+        # the coldest node instead of producing an empty slice.
+        selector = ZipfNodeSelector(list(range(10)), theta=1.0, rng=rng(26))
+        coldest = selector.hottest(10)[-1]
+        node = selector.sample_tail(rng(27), lambda n: True, 1e-9)
+        assert node == coldest
+
+    def test_single_node_population(self):
+        selector = ZipfNodeSelector([42], theta=1.0, rng=rng(28))
+        assert selector.sample_tail(rng(29), lambda n: True, 0.3) == 42
+
+    def test_falls_back_coldest_first_then_none(self):
+        selector = ZipfNodeSelector(list(range(10)), theta=1.0, rng=rng(30))
+        ranking = selector.hottest(10)
+        hottest = ranking[0]
+        # Only the hottest node is alive: it is outside the cold tail,
+        # so the draw must fall back to the coldest-first scan.
+        node = selector.sample_tail(
+            rng(31), lambda n: n == hottest, 0.2
+        )
+        assert node == hottest
+        assert selector.sample_tail(rng(32), lambda n: False, 0.2) is None
+
+
 class TestChurnConfig:
     def test_defaults_disabled(self):
         assert not ChurnConfig().enabled
