@@ -24,6 +24,11 @@ way: the figure4 smoke experiment is rerun with a present-but-disabled
 :class:`~repro.net.overload.OverloadPlan` attached to every config, and
 the canonical output must still match the same golden bit for bit.
 
+A fourth leg does the same for the peer-fluctuation layer: the run is
+repeated with a present-but-inert
+:class:`~repro.workload.sessions.SessionPlan` attached, and must again
+match the golden bit for bit.
+
 Environment overrides:
 
 - ``PERF_SMOKE_BASELINE`` — baseline wall seconds (default: the newest
@@ -183,6 +188,41 @@ def _overload_off_identity_leg() -> int:
     return 0
 
 
+def _fluctuation_off_identity_leg() -> int:
+    """A present-but-inert SessionPlan must not move a single bit."""
+    from repro.experiments import figure4_arrival_rate as fig4
+    from repro.workload.sessions import SessionPlan
+
+    canonical = _canonical()
+    expected = GOLDEN.read_text(encoding="utf-8")
+    original = fig4.base_config
+
+    def with_inert_sessions(scale, **kwargs):
+        return original(scale, **kwargs).replace(sessions=SessionPlan())
+
+    fig4.base_config = with_inert_sessions
+    start = time.perf_counter()
+    try:
+        result = fig4.run(
+            scale="smoke", replications=1, seed=1, rates=(1.0, 10.0)
+        )
+    finally:
+        fig4.base_config = original
+    wall = time.perf_counter() - start
+    if canonical(result) != expected:
+        print(
+            "perf-smoke: fluctuation leg FAILED — an inert session plan "
+            f"drifted the run from {GOLDEN.name}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "perf-smoke: fluctuation-off run bit-identical to golden "
+        f"({wall:.2f}s)"
+    )
+    return 0
+
+
 def main() -> int:
     budget = float(os.environ.get("PERF_SMOKE_BUDGET", "2.0"))
     baseline = _baseline()
@@ -196,7 +236,11 @@ def main() -> int:
     if wall > limit:
         _write_profile()
         return 1
-    return _telemetry_overhead_leg() or _overload_off_identity_leg()
+    return (
+        _telemetry_overhead_leg()
+        or _overload_off_identity_leg()
+        or _fluctuation_off_identity_leg()
+    )
 
 
 if __name__ == "__main__":

@@ -171,6 +171,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_arguments(sim_parser)
     _add_overload_arguments(sim_parser)
+    _add_fluctuation_arguments(sim_parser)
     _add_interest_arguments(sim_parser)
     _add_telemetry_arguments(sim_parser)
 
@@ -264,6 +265,7 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--seed", type=int, default=1)
     _add_fault_arguments(chaos_parser)
     _add_overload_arguments(chaos_parser)
+    _add_fluctuation_arguments(chaos_parser)
     _add_interest_arguments(chaos_parser)
     _add_telemetry_arguments(chaos_parser)
 
@@ -561,6 +563,119 @@ def _add_overload_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fluctuation_arguments(parser: argparse.ArgumentParser) -> None:
+    """Peer-fluctuation flags shared by ``simulate`` and ``chaos``."""
+    group = parser.add_argument_group("peer fluctuation")
+    group.add_argument(
+        "--mean-session",
+        type=float,
+        default=0.0,
+        help=(
+            "mean alive-session length in simulated seconds (Pareto); "
+            "enables the crash-restart lifecycle (0 keeps it off)"
+        ),
+    )
+    group.add_argument(
+        "--mean-downtime",
+        type=float,
+        default=0.0,
+        help=(
+            "mean downtime (MTTR) in simulated seconds (log-normal); "
+            "required whenever anything crashes"
+        ),
+    )
+    group.add_argument(
+        "--session-alpha",
+        type=float,
+        default=1.5,
+        help="Pareto tail index of session lengths (default: 1.5)",
+    )
+    group.add_argument(
+        "--downtime-sigma",
+        type=float,
+        default=0.75,
+        help="log-space shape of the downtime distribution (default: 0.75)",
+    )
+    group.add_argument(
+        "--diurnal-amplitude",
+        type=float,
+        default=0.0,
+        help=(
+            "relative amplitude of the diurnal arrival-rate curve in "
+            "[0, 1) (0 disables it)"
+        ),
+    )
+    group.add_argument(
+        "--diurnal-period",
+        type=float,
+        default=86_400.0,
+        help="period of the diurnal curve in seconds (default: one day)",
+    )
+    group.add_argument(
+        "--regional-rate",
+        type=float,
+        default=0.0,
+        help=(
+            "correlated regional failure bursts per simulated second "
+            "(0 disables them)"
+        ),
+    )
+    group.add_argument(
+        "--regional-radius",
+        type=int,
+        default=2,
+        help="BFS radius of the neighborhood a burst crashes (default: 2)",
+    )
+    group.add_argument(
+        "--damp-suppress",
+        type=float,
+        default=0.0,
+        help=(
+            "flap-damping penalty at which a peer is suppressed "
+            "(0 disables damping)"
+        ),
+    )
+    group.add_argument(
+        "--damp-reuse",
+        type=float,
+        default=1.0,
+        help="penalty below which a suppressed peer is released",
+    )
+    group.add_argument(
+        "--damp-penalty",
+        type=float,
+        default=1.0,
+        help="penalty charged per crash (default: 1)",
+    )
+    group.add_argument(
+        "--damp-half-life",
+        type=float,
+        default=300.0,
+        help="exponential half-life of the penalty decay (default: 300)",
+    )
+
+
+def _fluctuation_overrides(args: argparse.Namespace) -> dict:
+    """SimulationConfig overrides from the peer-fluctuation flags."""
+    from repro.workload.sessions import SessionPlan
+
+    plan = SessionPlan(
+        mean_session=args.mean_session,
+        session_alpha=args.session_alpha,
+        mean_downtime=args.mean_downtime,
+        downtime_sigma=args.downtime_sigma,
+        diurnal_amplitude=args.diurnal_amplitude,
+        diurnal_period=args.diurnal_period,
+        regional_rate=args.regional_rate,
+        regional_radius=args.regional_radius,
+        damp_penalty=args.damp_penalty,
+        damp_half_life=args.damp_half_life,
+        damp_suppress=args.damp_suppress,
+        damp_reuse=args.damp_reuse,
+    )
+    return {"sessions": plan} if plan.enabled else {}
+
+
 def _add_interest_arguments(parser: argparse.ArgumentParser) -> None:
     """Interest-policy flags shared by ``simulate`` and ``chaos``."""
     group = parser.add_argument_group("interest policy")
@@ -808,6 +923,7 @@ def _instrumented_run(
 def _command_simulate(args: argparse.Namespace) -> int:
     overrides = _fault_overrides(args)
     overrides.update(_overload_overrides(args))
+    overrides.update(_fluctuation_overrides(args))
     overrides.update(_interest_overrides(args))
     if args.churn_rate > 0:
         from repro.workload.churn import ChurnConfig
@@ -943,6 +1059,7 @@ def _command_chaos(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario)
     overrides = _fault_overrides(args)
     overrides.update(_overload_overrides(args))
+    overrides.update(_fluctuation_overrides(args))
     overrides.update(_interest_overrides(args))
     config = SimulationConfig(
         scheme=args.scheme,
@@ -980,7 +1097,16 @@ def _command_chaos(args: argparse.Namespace) -> int:
             k
             for k in sorted(result.extras)
             if k.split("_")[0]
-            in ("audit", "failover", "partition", "partitions", "standby")
+            in (
+                "audit",
+                "failover",
+                "partition",
+                "partitions",
+                "standby",
+                "session",
+                "flap",
+                "rejoin",
+            )
         )
         for key in chaos_keys:
             print(f"  {key}: {result.extras[key]}")

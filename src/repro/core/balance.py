@@ -169,6 +169,8 @@ class DupBalancer:
             return True
         if self._relay_redirected(node, payload, combined):
             return True
+        if self._relay_dissolution(node, payload, combined):
+            return True
         if not isinstance(payload, Subscribe):
             return False
         subject = payload.subject
@@ -264,6 +266,41 @@ class DupBalancer:
             self._unmap(node, payload.new)
             self._protocol.s_list(payload.old).discard(payload.new)
             return False
+        return False
+
+    def _relay_dissolution(
+        self, node: NodeId, payload: object, combined: StepResult
+    ) -> bool:
+        """Drain a dissolution ``Substitute`` crossing a vestigial path.
+
+        When a delegate collapses to a pure relay for its last delegated
+        subject, its ``Substitute(delegate, subject)`` walks the tree
+        path toward the delegator.  Every path entry it crosses is
+        vestigial — it advertises a delegate that serves nobody — so
+        rewriting those entries in place (the plain rule) strands relay
+        entries that later re-advertise the subject, push to nodes that
+        no longer want updates, and sneak past the fanout cap.  Instead:
+        finish the bookkeeping at the delegator directly (point-to-point,
+        like all delegation traffic) and drain the local path entry by
+        the plain unsubscribe rules, whose upstream continuation clears
+        the rest of the stale path hop by hop.
+        """
+        if not isinstance(payload, Substitute):
+            return False
+        delegate, subject = payload.old, payload.new
+        for delegator, mapping in self._delegations.items():
+            if delegator != node and mapping.get(subject) == delegate:
+                self._unmap(delegator, subject)
+                self._protocol.s_list(delegate).discard(subject)
+                self._trace(
+                    node,
+                    "dup.dissolve-relay",
+                    f"subject={subject} delegate={delegate}"
+                    f" delegator={delegator}",
+                )
+                self._send_down(node, delegator, Substitute(delegate, subject))
+                combined.merge(self._protocol.step(node, Unsubscribe(delegate)))
+                return True
         return False
 
     # -- the PR-7 flows (shared bookkeeping with the base scheme) ------------
@@ -412,6 +449,60 @@ class DupBalancer:
             self._delegations.pop(node, None)
         return result
 
+    def shed_overflow(self, node: NodeId) -> Optional[StepResult]:
+        """Re-cap a list grown past the cap by churn adoption.
+
+        Churn adoption (:meth:`~repro.core.maintenance.DupMaintenance.node_left`
+        hands a departed node's whole list to its parent) is the one
+        flow that can grow a capped list without passing the subscribe
+        pipeline.  Three passes restore the invariant: adopted entries
+        that duplicate an existing delegation of ``node`` are simply
+        dropped (the subject already receives pushes through the
+        delegate); the remaining excess is split to best-ranked
+        delegates exactly as the pipeline would have; anything still
+        over the cap falls back to the PR-7 redirect — the entry moves
+        upstream as a fresh ``Subscribe`` (no NACK, the subscribers did
+        nothing wrong).  Returns the upstream payloads (redirected
+        subscribes plus the advertisement correction when shedding
+        changed what ``node`` advertises), or ``None``.
+        """
+        if not self._cap or self._is_root(node):
+            return None
+        if self.fanout(node) <= self._cap:
+            return None
+        s_list = self._protocol.s_list(node)
+        pre = node if len(s_list) >= 2 else s_list.first
+        result = StepResult()
+        delegated = self._delegations.get(node, {})
+        for subject in sorted(s_list):
+            if self.fanout(node) <= self._cap:
+                break
+            if subject != node and subject in delegated:
+                s_list.discard(subject)
+                self._trace(node, "dup.shed-duplicate", f"subject={subject}")
+        shed = True
+        while shed and self.fanout(node) > self._cap:
+            shed = False
+            for subject in sorted(s_list):
+                if subject == node:
+                    continue
+                target = self.choose_delegate(node, subject)
+                if target is None:
+                    continue
+                s_list.discard(subject)
+                self.delegate(node, subject, target)
+                shed = True
+                break
+        while self.fanout(node) > self._cap:
+            subject = next(s for s in sorted(s_list) if s != node)
+            s_list.discard(subject)
+            self._redirected.setdefault(node, set()).add(subject)
+            self._trace(node, "dup.shed-redirect", f"subject={subject}")
+            result.upstream.append(Subscribe(subject))
+        post = node if len(s_list) >= 2 else s_list.first
+        if pre is not None and post is not None and pre != post:
+            result.upstream.append(Substitute(old=pre, new=post))
+        return result if result.upstream else None
     # -- churn -----------------------------------------------------------------
     def node_gone(self, node: NodeId) -> list[tuple[NodeId, NodeId]]:
         """Unwind delegation state around a departing/failed ``node``.

@@ -81,3 +81,13 @@ class LeaseTable:
     def expiry(self, holder: NodeId, entry: NodeId) -> float:
         """The lease deadline (``-inf`` when no record exists)."""
         return self._expiry.get(holder, {}).get(entry, float("-inf"))
+
+    def live(self, holder: NodeId, entry: NodeId, now: float) -> bool:
+        """Whether ``holder``'s lease on ``entry`` is unexpired at ``now``.
+
+        The rejoin reconciliation uses this to validate a crash-restarted
+        node's retained subscriber entries against the live lease table:
+        an entry whose lease lapsed while the holder was down (or whose
+        record was dropped by the failure repair) is stale by definition.
+        """
+        return self.expiry(holder, entry) > now

@@ -289,6 +289,75 @@ class DupMaintenance:
             if advertisement is not None:
                 self._emit(child, Subscribe(advertisement))
 
+    # -- crash-restart ----------------------------------------------------------
+    def node_rejoined(
+        self,
+        node: NodeId,
+        parent: NodeId,
+        entries: "tuple[NodeId, ...]",
+        entry_valid: "Optional[Callable[[NodeId], bool]]" = None,
+    ) -> "tuple[list[NodeId], list[NodeId]]":
+        """A crashed node returns holding its pre-crash state; reconcile.
+
+        The rejoiner's amnesia semantics are explicit: ``entries`` is the
+        subscriber list it still holds from before the crash.  Each entry
+        is re-validated — it must still be in the overlay, its virtual
+        path must still route through ``node`` (a survivor repair may
+        have moved the branch, or the node itself may have been spliced
+        out and re-grafted elsewhere), and ``entry_valid`` (the scheme's
+        live-lease check) must accept it.  Valid entries are adopted
+        back; the rest are *excised*, exactly the records the
+        consistency auditor would otherwise flag as dangling or stray.
+        The reconciled advertisement is re-announced upstream with a
+        ``RefreshSubscribe`` so the virtual path above the rejoiner is
+        re-validated end to end (refresh is idempotent: it stops at the
+        first node already pushing to the advertisement).
+
+        Returns ``(kept, excised)``.
+        """
+        if node not in self._tree:
+            # A survivor detected the crash and spliced the node out;
+            # it returns as a leaf under ``parent``.
+            self._tree.add_leaf(parent, node)
+            self._record("tree-graft", node=node, subject=parent, detail="rejoin")
+        kept: list[NodeId] = []
+        excised: list[NodeId] = []
+        for entry in entries:
+            if entry == node:
+                # Self-subscription: interest is the scheme's call; it
+                # pre-filters lapsed interest before handing us entries.
+                kept.append(entry)
+                continue
+            valid = (
+                entry in self._tree
+                and self._tree.on_path_to_root(entry, node)
+                and (entry_valid is None or entry_valid(entry))
+            )
+            (kept if valid else excised).append(entry)
+        # Rebuild the node's list from the validated survivors: whatever
+        # the protocol currently holds for it (possibly nothing — the
+        # failure repair dropped it) is replaced by the reconciled state.
+        self._protocol.drop_node(node)
+        others = [entry for entry in kept if entry != node]
+        if others:
+            self._protocol.adopt_entries(node, others)
+        if node in kept:
+            # adopt_entries skips self-entries; restore the surviving
+            # self-subscription directly.
+            self._protocol.s_list(node).add(node)
+        for entry in excised:
+            self._record("stale-excise", node=node, subject=entry)
+        self._record(
+            "rejoin-reconcile",
+            node=node,
+            subject=parent,
+            detail=f"kept={len(kept)} excised={len(excised)}",
+        )
+        advertisement = _advertisement(self._protocol.s_list(node), node)
+        if advertisement is not None:
+            self._emit(node, RefreshSubscribe(advertisement))
+        return kept, excised
+
     # -- helpers ------------------------------------------------------------
     def _routes_through(
         self, upper: NodeId, entry: NodeId, lower: NodeId

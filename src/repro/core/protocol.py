@@ -122,6 +122,16 @@ class DupProtocol:
             return node
         return s_list.first
 
+    def peek_entries(self, node: NodeId) -> "tuple[NodeId, ...]":
+        """Snapshot of ``node``'s list without creating state for it.
+
+        The crash-restart amnesia snapshot must not leave an empty list
+        behind for nodes that held nothing (that would perturb the
+        iteration order of :meth:`nodes_with_state`).
+        """
+        s_list = self._lists.get(node)
+        return () if s_list is None else s_list.snapshot()
+
     def nodes_with_state(self) -> tuple[NodeId, ...]:
         """All nodes holding a non-empty subscriber list."""
         return tuple(n for n, lst in self._lists.items() if len(lst) > 0)

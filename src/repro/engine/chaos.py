@@ -33,6 +33,7 @@ from repro.engine.config import SimulationConfig
 from repro.errors import ConfigError
 from repro.net.faults import FaultPlan, PartitionWindow
 from repro.net.overload import OverloadPlan
+from repro.workload.sessions import SessionPlan
 from repro.workload.storms import StormPhase, StormPlan
 
 #: (start offset after warm-up, duration, components) per window.
@@ -79,6 +80,11 @@ class ChaosScenario:
         Overload storm phases as ``(kind, offset, duration, rate)``
         tuples, offset from warm-up like partitions; appended to any
         phases the config already schedules.
+    sessions:
+        A :class:`~repro.workload.sessions.SessionPlan` the scenario
+        arms — peer crash-restart lifecycle, regional bursts, flap
+        damping (None leaves whatever the config carries; a config that
+        already has one keeps its own).
     """
 
     name: str
@@ -92,6 +98,7 @@ class ChaosScenario:
     audit_interval: float = 0.0
     overload: Optional[OverloadPlan] = None
     storms: tuple[StormSpec, ...] = ()
+    sessions: Optional[SessionPlan] = None
 
     def __post_init__(self) -> None:
         if self.crash_offset is not None and self.standbys < 1:
@@ -112,6 +119,7 @@ class ChaosScenario:
             and self.audit_interval == 0.0
             and self.overload is None
             and not self.storms
+            and self.sessions is None
         )
 
     def apply(self, config: SimulationConfig) -> SimulationConfig:
@@ -204,6 +212,8 @@ class ChaosScenario:
                     sorted(base_phases + phases, key=lambda p: p.start)
                 )
             )
+        if self.sessions is not None and config.sessions is None:
+            changes["sessions"] = self.sessions
         return config.replace(**changes)
 
 
@@ -227,10 +237,35 @@ SCENARIOS: dict[str, ChaosScenario] = {
         ChaosScenario(
             name="flap",
             description=(
-                "two short partitions in quick succession (network "
-                "flapping), three components the second time"
+                "a flap storm: peers cycle through short crash-restart "
+                "sessions with flap damping armed; the auditor must stay "
+                "clean through every rejoin reconciliation"
             ),
-            partitions=((300.0, 60.0, 2), (480.0, 60.0, 3)),
+            sessions=SessionPlan(
+                mean_session=600.0,
+                session_alpha=1.5,
+                mean_downtime=60.0,
+                downtime_sigma=0.75,
+                damp_penalty=1.0,
+                damp_half_life=300.0,
+                damp_suppress=3.0,
+                damp_reuse=1.5,
+            ),
+            audit_interval=150.0,
+        ),
+        ChaosScenario(
+            name="regional",
+            description=(
+                "correlated regional churn: Poisson bursts crash whole "
+                "BFS neighborhoods of the tree at once, with lognormal "
+                "recovery times"
+            ),
+            sessions=SessionPlan(
+                mean_downtime=120.0,
+                downtime_sigma=0.75,
+                regional_rate=1.0 / 600.0,
+                regional_radius=2,
+            ),
             audit_interval=150.0,
         ),
         ChaosScenario(

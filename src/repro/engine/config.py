@@ -18,6 +18,7 @@ from repro.errors import ConfigError
 from repro.net.faults import FaultPlan
 from repro.net.overload import OverloadPlan
 from repro.workload.churn import ChurnConfig
+from repro.workload.sessions import SessionPlan
 from repro.workload.storms import StormPlan
 
 TOPOLOGIES = ("random-tree", "chord", "can", "balanced", "chain", "star")
@@ -164,6 +165,15 @@ class SimulationConfig:
         overload workloads (flash crowds, authority update storms,
         subscribe/unsubscribe thrash) layered on top of the base
         arrivals.  ``None`` or an empty plan injects nothing.
+    sessions:
+        Optional :class:`~repro.workload.sessions.SessionPlan`: the peer
+        fluctuation layer — Pareto session lengths with lognormal
+        downtimes (crash-restart with amnesia semantics), diurnal
+        arrival modulation, correlated regional failure bursts, and
+        BGP-style flap damping.  ``None`` or an all-default plan keeps
+        the run bit-identical to a build without the layer.  A plan
+        with crashes enabled implies silent failures (the engine arms a
+        fault injector if the fault plan does not already have one).
     flight_recorder:
         Arm the protocol flight recorder (:mod:`repro.flightrec`): a
         bounded ring buffer of structured protocol events (tree
@@ -216,6 +226,7 @@ class SimulationConfig:
     retry_timeout_cap: float = 0.0
     overload: Optional[OverloadPlan] = field(default=None)
     storms: Optional[StormPlan] = field(default=None)
+    sessions: Optional[SessionPlan] = field(default=None)
     flight_recorder: bool = False
     flight_capacity: int = 4096
 
@@ -357,6 +368,8 @@ class SimulationConfig:
             self.overload.validate()
         if self.storms is not None:
             self.storms.validate()
+        if self.sessions is not None:
+            self.sessions.validate()
         if self.flight_capacity < 1:
             raise ConfigError(
                 f"flight_capacity must be >= 1, got {self.flight_capacity}"

@@ -85,7 +85,9 @@ class ProgressEvent:
     mirror the finished trial's headline numbers (NaN on failure) so a
     dashboard can plot rolling divergence/cost without the full result.
     ``shed_fraction`` / ``max_queue_depth`` surface the overload layer's
-    gauges (NaN when the trial ran without one).
+    gauges (NaN when the trial ran without one); ``down_nodes`` /
+    ``flap_suppressed`` the fluctuation layer's (end-of-run currently
+    down count and flap-damped peer count, NaN without the layer).
     """
 
     kind: str  # "trial-done" | "trial-failed"
@@ -103,6 +105,8 @@ class ProgressEvent:
     cost_per_query: float = math.nan
     shed_fraction: float = math.nan
     max_queue_depth: float = math.nan
+    down_nodes: float = math.nan
+    flap_suppressed: float = math.nan
     error: str = ""
 
     def to_record(self) -> dict:
@@ -357,6 +361,10 @@ class ParallelRunner:
             max_queue_depth=float(
                 extras.get("max_queue_depth", math.nan)
             ),
+            down_nodes=float(extras.get("session_down_now", math.nan)),
+            flap_suppressed=float(
+                extras.get("flap_suppressed_now", math.nan)
+            ),
         )
         progress = (
             self._progress if self._progress is not None else _default_progress
@@ -379,6 +387,8 @@ class ParallelRunner:
         cost_per_query: float = math.nan,
         shed_fraction: float = math.nan,
         max_queue_depth: float = math.nan,
+        down_nodes: float = math.nan,
+        flap_suppressed: float = math.nan,
         error: str = "",
     ) -> None:
         sink = (
@@ -415,6 +425,8 @@ class ParallelRunner:
                 cost_per_query=cost_per_query,
                 shed_fraction=shed_fraction,
                 max_queue_depth=max_queue_depth,
+                down_nodes=down_nodes,
+                flap_suppressed=flap_suppressed,
                 error=error,
             )
         )

@@ -22,6 +22,7 @@ query's causal chain from the transport observer tap.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from typing import Optional
@@ -41,7 +42,7 @@ from repro.index.entry import IndexVersion
 from repro.metrics.counters import CostLedger
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.registry import MetricsRegistry
-from repro.net.faults import FaultInjector
+from repro.net.faults import FaultInjector, FaultPlan
 from repro.net.message import (
     AckMessage,
     AuthorityHeartbeat,
@@ -70,6 +71,7 @@ from repro.topology.tree import SearchTree
 from repro.workload.arrivals import make_arrival_process
 from repro.workload.churn import ChurnEvent, ChurnProcess
 from repro.workload.selection import ZipfNodeSelector
+from repro.workload.sessions import SessionEngine
 from repro.workload.storms import StormEngine
 
 NodeId = int
@@ -108,11 +110,18 @@ class Simulation:
             )
             flightrec.LAST = self.recorder
         # -- fault layer: only constructed when a plan asks for it, so a
-        # fault-free run is bit-identical to one without the layer.
+        # fault-free run is bit-identical to one without the layer.  A
+        # session plan that crashes peers implies silent failures: the
+        # crash-restart path goes through the injector's blackholing.
+        fault_plan = config.faults
+        if config.sessions is not None and config.sessions.crashes_enabled:
+            base = fault_plan if fault_plan is not None else FaultPlan()
+            if not base.silent_failures:
+                fault_plan = dataclasses.replace(base, silent_failures=True)
         self.injector: Optional[FaultInjector] = None
-        if config.faults is not None and config.faults.enabled:
+        if fault_plan is not None and fault_plan.enabled:
             self.injector = FaultInjector(
-                config.faults,
+                fault_plan,
                 self.streams,
                 clock=lambda: self.env.now,
                 recorder=self.recorder,
@@ -160,6 +169,13 @@ class Simulation:
         self.storms: Optional[StormEngine] = None
         if config.storms is not None and config.storms.enabled:
             self.storms = StormEngine(self, config.storms)
+        # -- peer fluctuation: constructed before the scheme binds (the
+        # DUP scheme wires its flap-damping gate off ``sim.sessions``);
+        # an absent or inert plan leaves the attribute None and the run
+        # bit-identical to a build without the layer.
+        self.sessions: Optional[SessionEngine] = None
+        if config.sessions is not None and config.sessions.enabled:
+            self.sessions = SessionEngine(self, config.sessions)
         self._caches: dict[NodeId, IndexCache] = {}
         self._past_warmup = config.warmup <= 0.0
         self._incomplete = 0
@@ -298,6 +314,21 @@ class Simulation:
         ):
             registry.gauge(
                 "leases.expired", lambda: float(self.scheme.lease_expiries)
+            )
+        sessions = self.sessions
+        if sessions is not None:
+            registry.gauge(
+                "sessions.crashes", lambda: float(sessions.crashes)
+            )
+            registry.gauge(
+                "sessions.rejoins", lambda: float(sessions.rejoins)
+            )
+            registry.gauge(
+                "sessions.down_now", lambda: float(sessions.down_now)
+            )
+            registry.gauge(
+                "sessions.flap_suppressed",
+                lambda: float(sessions.flap_suppressed_now),
             )
 
     # -- construction helpers -----------------------------------------------
@@ -500,6 +531,57 @@ class Simulation:
             # A crashed authority issues nothing further; standbys will
             # notice the heartbeat/replication silence and promote.
             self.authority.stop()
+
+    def crash_node(self, node: NodeId) -> dict:
+        """Silently crash ``node`` for a crash-restart cycle.
+
+        Unlike churn failure, the node's state is *not* lost: it keeps
+        its subscriber list, scheme trackers, and index cache across the
+        downtime (amnesia semantics — what survives a process restart on
+        the same host).  Returns the snapshot :meth:`rejoin_node` needs;
+        the fluctuation layer holds it while the node is down.
+        """
+        snapshot = {
+            "parent": self.parent(node),
+            "scheme": self.scheme.snapshot_for_rejoin(node),
+            "cache": self._caches.get(node),
+        }
+        self.fail_silently(node)
+        return snapshot
+
+    def rejoin_node(
+        self, node: NodeId, snapshot: dict, suppressed: bool = False
+    ) -> None:
+        """``node`` restarts after :meth:`crash_node`; reconcile it.
+
+        While it was down a survivor may have detected the crash and
+        spliced it out (then the pre-crash parent — or the root, if that
+        parent is itself gone — re-grafts it), or nobody noticed and it
+        is still in place.  Either way the retained state in
+        ``snapshot`` is re-validated by the scheme's reconciliation
+        handshake; with ``suppressed`` (flap damping) the state is
+        discarded instead and no re-graft/resubscribe traffic is sent.
+        """
+        if self.injector is not None:
+            self.injector.revive(node)
+        if node in self.tree:
+            parent = self.parent(node)
+            if parent is None:
+                parent = self.tree.root
+        else:
+            parent = snapshot.get("parent")
+            if parent is None or not self.functioning(parent):
+                parent = self.tree.root
+        cache = snapshot.get("cache")
+        if cache is not None and node not in self._caches:
+            # The failure repair dropped the cache; the restarted process
+            # still has its copy on disk.  Version monotonicity holds:
+            # IndexCache.put rejects regressions, so a stale restored
+            # copy is superseded by the next fresher reply.
+            self._caches[node] = cache
+        self.scheme.on_node_rejoined(
+            node, parent, snapshot.get("scheme"), suppressed
+        )
 
     def _on_delivery_give_up(
         self, sender: NodeId, destination: NodeId, message: Message
@@ -980,6 +1062,18 @@ class Simulation:
         # Localised bindings: this loop issues every query in the run.
         timeout = self.env.timeout
         next_gap = arrivals.next_gap
+        sessions = self.sessions
+        if sessions is not None and sessions.plan.diurnal_enabled:
+            # Diurnal modulation: the same stream draws, with the gap
+            # divided by the intensity curve at issue time — higher
+            # intensity, shorter gaps, identical distribution family.
+            base_gap = next_gap
+            modulation = sessions.modulation
+            env = self.env
+
+            def next_gap() -> float:
+                return base_gap() / modulation(env._now)
+
         on_local_query = self.scheme.on_local_query
         if guarded:
             while True:
@@ -1105,6 +1199,8 @@ class Simulation:
             )
         if self.storms is not None:
             self.storms.install()
+        if self.sessions is not None:
+            self.sessions.install()
         self.authority = Authority(
             env=self.env,
             key=self.key,
@@ -1200,6 +1296,16 @@ class Simulation:
                 )
         if self.storms is not None:
             extras.update(self.storms.counters())
+        if self.sessions is not None:
+            extras.update(self.sessions.counters())
+            if hasattr(self.scheme, "rejoin_reconciles"):
+                extras["rejoin_reconciles"] = self.scheme.rejoin_reconciles
+                extras["rejoin_kept_entries"] = (
+                    self.scheme.rejoin_kept_entries
+                )
+                extras["rejoin_excised_entries"] = (
+                    self.scheme.rejoin_excised_entries
+                )
         if hasattr(self.scheme, "threshold_bounds"):
             bounds = self.scheme.threshold_bounds()
             if bounds is not None:

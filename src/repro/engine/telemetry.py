@@ -165,6 +165,11 @@ def render_top(records: Iterable, tail: int = 5) -> str:
             gauges.append(f"shed={record['shed_fraction']:.3f}")
         if isinstance(record.get("max_queue_depth"), (int, float)):
             gauges.append(f"qdepth={record['max_queue_depth']:.0f}")
+        # Fluctuation gauges: same NaN-serializes-to-null convention.
+        if isinstance(record.get("down_nodes"), (int, float)):
+            gauges.append(f"down={record['down_nodes']:.0f}")
+        if isinstance(record.get("flap_suppressed"), (int, float)):
+            gauges.append(f"flap={record['flap_suppressed']:.0f}")
         lines.append(
             f"  {experiment:<16} [{_bar(fraction)}] {done}/{total}"
             + (f" !{failed}" if failed else "")

@@ -16,6 +16,7 @@ from repro.experiments import (
     figure6_degree,
     figure7_zipf,
     figure8_pareto,
+    fluctuation_study,
     overload_study,
     paper_spotcheck,
     partition_study,
@@ -38,6 +39,7 @@ _REGISTRY: dict[str, Callable] = {
     "partition": partition_study.run,
     "overload": overload_study.run,
     "adaptive": adaptive_study.run,
+    "fluctuation": fluctuation_study.run,
     "paper-spotcheck": paper_spotcheck.run,
     "ablations": ablations.run,
     "ablation-cutoff": ablations.run_cut_off,
@@ -79,6 +81,7 @@ def run_all(
             "partition",
             "overload",
             "adaptive",
+            "fluctuation",
         ) or name.startswith(
             "ablation-"
         ):

@@ -368,6 +368,16 @@ class FaultInjector:
             )
         return latency
 
+    def revive(self, node: NodeId) -> None:
+        """Forget a silent failure: ``node`` crash-restarted and is back.
+
+        Used by the peer-fluctuation layer's rejoin path.  Whether the
+        crash was ever detected, the case is closed without statistics:
+        a node that returns on its own was not *repaired*, it recovered.
+        """
+        self._failed_at.pop(node, None)
+        self._detected.discard(node)
+
     def undetected(self) -> tuple[NodeId, ...]:
         """Silently failed nodes no survivor has reported yet."""
         return tuple(

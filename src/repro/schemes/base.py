@@ -114,6 +114,38 @@ class Scheme(abc.ABC):
             self.sim.tree.replace_root(new_root)
         self.sim.forget_node(old_root)
 
+    def snapshot_for_rejoin(self, node: NodeId) -> "object | None":
+        """The protocol state ``node`` will still hold across a
+        crash-restart (its amnesia snapshot).
+
+        Captured by the engine at crash time and handed back to
+        :meth:`on_node_rejoined`.  Soft-state schemes have nothing worth
+        keeping beyond the cache (which the engine snapshots itself) and
+        return ``None``.
+        """
+        return None
+
+    def on_node_rejoined(
+        self,
+        node: NodeId,
+        parent: NodeId,
+        snapshot: "object | None",
+        suppressed: bool = False,
+    ) -> None:
+        """``node`` returned from a crash-restart (fluctuation layer).
+
+        ``parent`` is where to re-graft if a survivor's repair spliced
+        the node out while it was down; ``snapshot`` is what
+        :meth:`snapshot_for_rejoin` captured; ``suppressed`` means flap
+        damping vetoed state restoration (the node rejoins with full
+        amnesia and must not emit re-graft/resubscribe traffic).
+
+        Default (soft-state schemes): re-graft as a leaf when needed and
+        otherwise resume silently — TTL state self-repairs.
+        """
+        if node not in self.sim.tree:
+            self.sim.tree.add_leaf(parent, node)
+
     def on_peer_suspected(self, reporter: NodeId, suspect: NodeId) -> None:
         """``reporter`` suspects ``suspect`` is dead, but it is alive.
 

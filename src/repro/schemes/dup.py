@@ -63,6 +63,12 @@ class DupScheme(PathCachingScheme):
         self._breakers = False
         self._redirected: dict[NodeId, set[NodeId]] = {}
         self._rejected_subscribers = 0
+        #: Flap-damping gate (``node -> bool``) installed by ``bind``
+        #: when the fluctuation layer arms damping; ``None`` otherwise.
+        self._flap_gate = None
+        self._rejoin_reconciles = 0
+        self._rejoin_kept = 0
+        self._rejoin_excised = 0
 
     def bind(self, sim) -> None:
         super().bind(sim)
@@ -70,6 +76,9 @@ class DupScheme(PathCachingScheme):
         if self.overload is not None:
             self._max_subscribers = self.overload.plan.max_subscribers
             self._breakers = self.overload.plan.breakers_enabled
+        sessions = getattr(sim, "sessions", None)
+        if sessions is not None and sessions.plan.damping_enabled:
+            self._flap_gate = sessions.suppressed
         self.protocol = DupProtocol(is_root=sim.is_root)
         self.maintenance = DupMaintenance(
             self.protocol,
@@ -128,6 +137,11 @@ class DupScheme(PathCachingScheme):
         protocol = self.protocol
         if not tracker.is_interested(now) or protocol.is_subscribed(node):
             return []
+        if self._flap_gate is not None and self._flap_gate(node):
+            # Flap damping: a suppressed peer's subscription attempts
+            # are refused until its penalty decays below the reuse
+            # threshold — no hard state for a peer that keeps crashing.
+            return []
         if packet is None and not sim.config.eager_subscribe:
             # Local query with no packet yet: if it misses, the
             # subscription rides the outgoing request (paper: "piggybacks
@@ -145,6 +159,8 @@ class DupScheme(PathCachingScheme):
         return self.protocol.ensure_subscribed(node).upstream
 
     def _should_subscribe(self, node: NodeId) -> bool:
+        if self._flap_gate is not None and self._flap_gate(node):
+            return False
         return self.is_interested(node) and not self.protocol.is_subscribed(
             node
         )
@@ -394,6 +410,94 @@ class DupScheme(PathCachingScheme):
         if self._leases is not None:
             self._leases.drop_holder(node)
         self.sim.forget_node(node)
+
+    def snapshot_for_rejoin(self, node: NodeId) -> dict:
+        """The amnesia snapshot: what ``node`` still holds after a
+        crash-restart — its subscriber list and its interest tracker
+        (the engine captures the TTL cache itself)."""
+        return {
+            "entries": self.protocol.peek_entries(node),
+            "tracker": self._trackers.get(node),
+        }
+
+    def on_node_rejoined(
+        self,
+        node: NodeId,
+        parent: NodeId,
+        snapshot: "dict | None",
+        suppressed: bool = False,
+    ) -> None:
+        """Crash-restart return: reconcile the retained hard state.
+
+        The rejoiner comes back holding its pre-crash subscriber list,
+        interest tracker, and cache.  The reconciliation handshake
+        re-validates every retained entry against the current tree and
+        the live lease table (:meth:`DupMaintenance.node_rejoined`),
+        excises what the auditor would flag, renews the leases of the
+        survivors, and re-advertises upstream.  Versions stay monotone
+        throughout: the restored cache rejects pushes older than what it
+        already holds, and newer pushes replace the stale copy as usual.
+
+        When flap damping ``suppressed`` the peer, none of that happens:
+        the node rejoins as a bare leaf with full amnesia and emits no
+        re-graft/resubscribe traffic until its penalty decays.
+        """
+        sim = self.sim
+        entries = tuple(snapshot["entries"]) if snapshot else ()
+        tracker = snapshot.get("tracker") if snapshot else None
+        if suppressed:
+            self.protocol.drop_node(node)
+            self._trackers.pop(node, None)
+            self._redirected.pop(node, None)
+            if self._leases is not None:
+                self._leases.drop_holder(node)
+            if node not in sim.tree:
+                self.maintenance.node_joined_leaf(parent, node)
+            return
+        if tracker is not None:
+            self._trackers[node] = tracker
+        if node in entries and not self.is_interested(node):
+            # Interest lapsed across the downtime: the self-subscription
+            # does not survive reconciliation.
+            entries = tuple(entry for entry in entries if entry != node)
+            self._record(
+                "stale-excise", node=node, subject=node, detail="interest-lapse"
+            )
+        leases = self._leases
+        entry_valid = None
+        if leases is not None:
+            now = sim.env._now
+
+            def entry_valid(entry: NodeId) -> bool:
+                return leases.live(node, entry, now)
+
+        kept, excised = self.maintenance.node_rejoined(
+            node, parent, entries, entry_valid
+        )
+        if leases is not None:
+            for entry in kept:
+                if entry != node:
+                    leases.touch(node, entry)
+            for entry in excised:
+                leases.drop(node, entry)
+        self._rejoin_reconciles += 1
+        self._rejoin_kept += len(kept)
+        self._rejoin_excised += len(excised)
+
+    @property
+    def rejoin_reconciles(self) -> int:
+        """Crash-restart reconciliation handshakes run."""
+        return self._rejoin_reconciles
+
+    @property
+    def rejoin_kept_entries(self) -> int:
+        """Retained subscriber entries that survived reconciliation."""
+        return self._rejoin_kept
+
+    @property
+    def rejoin_excised_entries(self) -> int:
+        """Retained subscriber entries excised as stale on rejoin."""
+        return self._rejoin_excised
 
     def on_root_failed(self, new_root: NodeId) -> None:
         """Authority failure (paper failure case 5).

@@ -132,11 +132,24 @@ class DupBalancedScheme(DupScheme):
 
     # -- churn -------------------------------------------------------------------
     def on_node_left(self, node: NodeId) -> None:
+        parent = self.sim.tree.parent(node)
         orphans = (
             self._balancer.node_gone(node) if self._max_subscribers else []
         )
         super().on_node_left(node)
         self._rehome_orphans(orphans, node)
+        self._shed_adoption_overflow(parent)
+
+    def _shed_adoption_overflow(self, parent: "NodeId | None") -> None:
+        """Re-cap a parent that wholesale-adopted a departed child's list."""
+        if not self._max_subscribers or parent is None:
+            return
+        sim = self.sim
+        if parent not in sim.tree or not sim.alive(parent):
+            return
+        extra = self._balancer.shed_overflow(parent)
+        if extra is not None:
+            self._send_control(parent, extra.upstream)
 
     def on_node_failed(self, node: NodeId) -> None:
         orphans = (

@@ -370,10 +370,17 @@ class SyncBalancedDriver(SyncDupDriver):
 
     def leave(self, node: int) -> None:
         self.interested.discard(node)
+        parent = self.tree.parent(node)
         orphans = self.balancer.node_gone(node)
         self.redirected.pop(node, None)
         self.maintenance.node_left(node)
         self._rehome(orphans, node)
+        # Mirror the scheme: a parent that wholesale-adopted the
+        # departed child's list sheds the excess back under its cap.
+        if parent is not None and parent in self.tree:
+            extra = self.balancer.shed_overflow(parent)
+            if extra is not None:
+                self._walk(parent, extra.upstream)
 
     def _rehome(self, orphans: list, dead: int) -> None:
         for delegator, subject in orphans:

@@ -108,3 +108,9 @@ class TestGoldens:
             scale="smoke", replications=1, seed=1
         )
         check_golden(result, "adaptive_smoke", update_goldens)
+
+    def test_fluctuation_smoke_matches_golden(self, update_goldens):
+        result = get_experiment("fluctuation")(
+            scale="smoke", replications=1, seed=1
+        )
+        check_golden(result, "fluctuation_smoke", update_goldens)
