@@ -6,13 +6,19 @@
 PYTHON ?= python
 PY = PYTHONPATH=src $(PYTHON)
 
-.PHONY: test bench perf-smoke profile clean
+.PHONY: test bench bench-scale perf-smoke profile clean
 
 test:
 	$(PY) -m pytest -q
 
 bench:
 	$(PY) -m pytest -q benchmarks/
+
+# Full (nodes x keys) capacity sweep up to the 10^5-node point plus the
+# batched-vs-unbatched kernel A/B; writes benchmarks/results/BENCH_scale.json.
+# Trim with e.g. BENCH_SCALE_GRID=2048x256,8192x512.
+bench-scale:
+	$(PY) -m pytest -q benchmarks/bench_scale.py
 
 perf-smoke:
 	$(PY) scripts/perf_smoke.py

@@ -23,6 +23,11 @@ import platform
 import subprocess
 import time
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
 from repro.engine.parallel import resolve_workers
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -48,6 +53,22 @@ def _git_sha():
         ).stdout.strip()
     except (OSError, subprocess.SubprocessError):
         return None
+
+
+def peak_rss_mb():
+    """Peak resident set size of this process in MiB (None if unknown).
+
+    ``getrusage`` reports kilobytes on Linux and bytes on macOS; both are
+    normalized to MiB.  The figure is a high-water mark — for a
+    benchmark it answers "did this grid point fit", which wall-clock
+    alone cannot.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover - bytes on macOS
+        return round(peak / (1024 * 1024), 1)
+    return round(peak / 1024, 1)
 
 
 def _load_history(path):
@@ -80,6 +101,7 @@ def run_experiment(benchmark, runner, **kwargs):
         record = {
             "experiment_id": result.experiment_id,
             "wall_seconds": round(wall, 3),
+            "peak_rss_mb": peak_rss_mb(),
             "workers": workers,
             "python_version": platform.python_version(),
             "git_sha": _git_sha(),

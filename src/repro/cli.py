@@ -319,6 +319,21 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also dump the raw profile (pstats format) to PATH",
     )
+    profile_parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help=(
+            "override the population size (scale experiment only; "
+            "e.g. --nodes 100000 for the 10^5-node tier)"
+        ),
+    )
+    profile_parser.add_argument(
+        "--keys",
+        type=int,
+        default=None,
+        help="override the key count (scale experiment only)",
+    )
     return parser
 
 
@@ -1132,6 +1147,26 @@ def _command_profile(args: argparse.Namespace) -> int:
     import pstats
 
     runner = get_experiment(args.experiment)
+    kwargs: dict = {}
+    nodes = getattr(args, "nodes", None)
+    keys = getattr(args, "keys", None)
+    if nodes is not None or keys is not None:
+        if args.experiment != "scale":
+            print(
+                "--nodes/--keys only apply to the 'scale' experiment",
+                file=sys.stderr,
+            )
+            return 2
+        # A single explicit grid point; unset knobs fall back to the
+        # scale preset's largest grid entry.
+        from repro.experiments.scale_study import GRIDS
+
+        default_nodes, default_keys = GRIDS.get(
+            args.scale, GRIDS["bench"]
+        )[-1]
+        kwargs["grid"] = (
+            (nodes or default_nodes, keys or default_keys),
+        )
     # Profiling fans out to nothing: the serial path is the one whose
     # per-event costs the profile is meant to expose, and cProfile only
     # sees the current process anyway.
@@ -1143,6 +1178,7 @@ def _command_profile(args: argparse.Namespace) -> int:
             replications=args.replications,
             seed=args.seed,
             workers=1,
+            **kwargs,
         )
     finally:
         profiler.disable()

@@ -179,11 +179,19 @@ class TrialSpec:
         return " ".join(parts)
 
 
-def _execute(spec: TrialSpec) -> tuple[SimulationResult, FrozenMetrics]:
+def _execute(spec: TrialSpec) -> tuple[SimulationResult, Optional[FrozenMetrics]]:
     """Worker-side entry point: run one trial, return picklable payloads."""
     sim = Simulation(spec.config)
     result = sim.run()
     return result, sim.registry.freeze()
+
+
+#: Worker-side executor signature: spec in, (result, frozen metrics) out.
+#: Custom executors must be module-level callables (the pool pickles them
+#: by reference) and may return ``None`` metrics when they collect none.
+TrialExecutor = Callable[
+    [TrialSpec], tuple[SimulationResult, Optional[FrozenMetrics]]
+]
 
 
 class ParallelRunner:
@@ -210,6 +218,13 @@ class ParallelRunner:
         historical fail-fast contract: the first failure raises
         :class:`ExperimentError` (with the recorded failures attached as
         its ``trial_failures`` attribute).
+    execute:
+        Worker-side executor invoked per spec (see :data:`TrialExecutor`).
+        Defaults to running ``Simulation(spec.config)``; the sharded
+        multi-key scale engine substitutes its own module-level function
+        so the same pool/ordering/failure machinery drives shard
+        simulations.  Must be picklable (a module-level function) for
+        the pool path.
 
     After :meth:`run_trials` returns, :attr:`metrics` holds the merged
     :class:`FrozenMetrics` of every trial (pool path only; the serial
@@ -224,10 +239,12 @@ class ParallelRunner:
         experiment: str = "",
         event_sink: Optional[Callable[[ProgressEvent], None]] = None,
         keep_going: bool = False,
+        execute: Optional[TrialExecutor] = None,
     ):
         self.workers = resolve_workers(workers)
         self._progress = progress
         self._event_sink = event_sink
+        self._execute_fn = execute if execute is not None else _execute
         self.experiment = experiment
         self.keep_going = keep_going
         self.metrics: Optional[FrozenMetrics] = None
@@ -272,7 +289,12 @@ class ParallelRunner:
         done = 0
         for spec in specs:
             try:
-                result = Simulation(spec.config).run()
+                if self._execute_fn is _execute:
+                    # Historical inline path: no freeze() overhead when
+                    # nobody will merge metrics.
+                    result = Simulation(spec.config).run()
+                else:
+                    result = self._execute_fn(spec)[0]
             except Exception as error:
                 self._fail(spec, error, done, len(specs))
                 continue
@@ -288,7 +310,7 @@ class ParallelRunner:
         done = 0
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_execute, spec): index
+                pool.submit(self._execute_fn, spec): index
                 for index, spec in enumerate(specs)
             }
             pending = set(futures)
@@ -312,9 +334,10 @@ class ParallelRunner:
                 for future in pending:
                     future.cancel()
                 raise
-        self.metrics = FrozenMetrics.merge(
-            [part for part in frozen if part is not None]
-        )
+        parts = [part for part in frozen if part is not None]
+        # Custom executors may return no metrics at all (e.g. the scale
+        # shard runner); leave the merged view unset in that case.
+        self.metrics = FrozenMetrics.merge(parts) if parts else None
         return [result for result in slots if result is not None]
 
     # -- failures ------------------------------------------------------------
@@ -439,6 +462,7 @@ def run_trials(
     experiment: str = "",
     event_sink: Optional[Callable[[ProgressEvent], None]] = None,
     keep_going: bool = False,
+    execute: Optional[TrialExecutor] = None,
 ) -> list[SimulationResult]:
     """Convenience wrapper: one-shot :class:`ParallelRunner` execution."""
     runner = ParallelRunner(
@@ -447,5 +471,6 @@ def run_trials(
         experiment=experiment,
         event_sink=event_sink,
         keep_going=keep_going,
+        execute=execute,
     )
     return runner.run_trials(specs)

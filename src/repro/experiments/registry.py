@@ -21,6 +21,7 @@ from repro.experiments import (
     paper_spotcheck,
     partition_study,
     resilience_study,
+    scale_study,
     table2_threshold,
     table3_network_size,
 )
@@ -40,6 +41,7 @@ _REGISTRY: dict[str, Callable] = {
     "overload": overload_study.run,
     "adaptive": adaptive_study.run,
     "fluctuation": fluctuation_study.run,
+    "scale": scale_study.run,
     "paper-spotcheck": paper_spotcheck.run,
     "ablations": ablations.run,
     "ablation-cutoff": ablations.run_cut_off,
@@ -82,6 +84,7 @@ def run_all(
             "overload",
             "adaptive",
             "fluctuation",
+            "scale",
         ) or name.startswith(
             "ablation-"
         ):

@@ -1,20 +1,29 @@
-"""Runtime toggle for the simulator's optimised hot paths.
+"""Runtime toggles for the simulator's optimised hot paths.
 
-The event kernel carries a handful of fast paths (an inlined run loop and
-a :class:`~repro.sim.core.Timeout` free-list) that are bit-identical to
-the straightforward implementations but measurably faster.  They are
-enabled by default and can be disabled for A/B verification with the
-``REPRO_FAST`` environment variable (``REPRO_FAST=0``) or, in-process,
-with :func:`set_enabled`.
+The event kernel carries two layers of optimisation, both bit-identical
+to the straightforward implementations but measurably faster:
+
+- **fast paths** (``REPRO_FAST``, default on): an inlined run loop and a
+  :class:`~repro.sim.core.Timeout` free-list;
+- **batched dispatch** (``REPRO_BATCH``, default on, only active when
+  the fast paths are too): same-timestamp events are drained as one
+  batch with the loop's head checks hoisted to the tick boundary, and
+  fire-and-forget deliveries scheduled through
+  :meth:`~repro.sim.core.Environment.defer` skip event-object
+  allocation entirely.
+
+Either layer can be disabled for A/B verification with its environment
+variable (``REPRO_FAST=0`` / ``REPRO_BATCH=0``) or, in-process, with
+:func:`set_enabled` / :func:`set_batched`.
 
 Determinism contract: every simulation result — goldens, serial/parallel
-fingerprints, metric counters — must be identical under both settings.
-``tests/test_perf_fastpath.py`` enforces this by running the same
-experiment under both flags and comparing fingerprints.
+fingerprints, metric counters — must be identical under every flag
+combination.  ``tests/test_perf_fastpath.py`` enforces this by running
+the same experiment under the flags and comparing fingerprints.
 
-The flag is captured by :class:`~repro.sim.core.Environment` at
-construction, so flipping it never affects a simulation that is already
-running.
+The flags are captured by :class:`~repro.sim.core.Environment` at
+construction, so flipping them never affects a simulation that is
+already running.
 """
 
 from __future__ import annotations
@@ -29,6 +38,13 @@ ENABLED: bool = (
     os.environ.get("REPRO_FAST", "1").strip().lower() not in _FALSE_VALUES
 )
 
+#: Whether new environments use the batched same-tick dispatch loop and
+#: zero-allocation deferred deliveries.  Layered on top of the fast
+#: paths: it only takes effect when :data:`ENABLED` is also true.
+BATCHED: bool = (
+    os.environ.get("REPRO_BATCH", "1").strip().lower() not in _FALSE_VALUES
+)
+
 
 def set_enabled(value: bool) -> bool:
     """Set the fast-path flag in-process; returns the previous value.
@@ -41,4 +57,17 @@ def set_enabled(value: bool) -> bool:
     global ENABLED
     previous = ENABLED
     ENABLED = bool(value)
+    return previous
+
+
+def set_batched(value: bool) -> bool:
+    """Set the batched-dispatch flag in-process; returns the previous value.
+
+    Like :func:`set_enabled`, the flag is captured at
+    :class:`~repro.sim.core.Environment` construction time; already
+    running simulations are unaffected.
+    """
+    global BATCHED
+    previous = BATCHED
+    BATCHED = bool(value)
     return previous

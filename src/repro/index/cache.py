@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.errors import CacheError
 from repro.index.entry import IndexVersion
 
@@ -116,6 +118,42 @@ class IndexCache:
         self._entries[version.key] = CachedCopy(version, now)
         self.stats.stores += 1
         return True
+
+    def sweep(self, now: float) -> int:
+        """Evict every expired copy in one pass; returns the count.
+
+        The single-key engines evict lazily inside :meth:`get` (the
+        check is already on the hit path); the multi-key scale engine
+        holds thousands of entries per node and sweeps them together —
+        one vectorized deadline comparison instead of per-key timer
+        events.  Evictions are charged to stats exactly as lazy ones
+        are, so a swept cache and a lazily-evicted cache agree on every
+        counter the results report.
+        """
+        entries = self._entries
+        if not entries:
+            return 0
+        if len(entries) <= 32:
+            # Below numpy's call-overhead break-even a plain scan wins;
+            # the scale engine sweeps per-node caches this small on
+            # every expiry-wheel hint.
+            dead = [key for key, copy in entries.items() if copy.expires_at <= now]
+            for key in dead:
+                del entries[key]
+            self.stats.evictions += len(dead)
+            return len(dead)
+        keys = list(entries)
+        deadlines = np.fromiter(
+            (entries[key].expires_at for key in keys),
+            dtype=np.float64,
+            count=len(keys),
+        )
+        expired = np.flatnonzero(deadlines <= now)
+        for index in expired:
+            del entries[keys[index]]
+        count = int(expired.size)
+        self.stats.evictions += count
+        return count
 
     def invalidate(self, key: int) -> bool:
         """Drop any cached copy of ``key``; returns whether one existed."""

@@ -78,6 +78,21 @@ class LatencyRecorder:
         return self._stat.mean
 
     @property
+    def hits(self) -> int:
+        """Queries served from the local cache (latency 0).
+
+        Exposed as a raw count so sharded runs can merge recorders
+        exactly (a merged hit rate needs the numerators, not the
+        per-shard ratios).
+        """
+        return self._hits
+
+    @property
+    def total_hops(self) -> float:
+        """Sum of recorded latencies (for exact cross-shard merging)."""
+        return self._stat.mean * self._stat.count if self._stat.count else 0.0
+
+    @property
     def hit_rate(self) -> float:
         """Fraction of queries served from the local cache."""
         if self._stat.count == 0:

@@ -174,7 +174,16 @@ class Message:
     ``trace_id`` is the span context: the id of the query trace this
     message causally belongs to, or ``None`` when it is not part of any
     traced query (see the module docstring).
+
+    ``TYPE_ID`` is a small per-class integer indexing the scheme layer's
+    typed handler table (see
+    :meth:`repro.schemes.base.PathCachingScheme.bind`): the four
+    scheme-dispatched classes occupy slots 0-3; engine-consumed classes
+    sit above the table so a stray one raises cleanly.
     """
+
+    #: Handler-table slot; the base value is past the table on purpose.
+    TYPE_ID = 8
 
     key: int
 
@@ -217,6 +226,8 @@ class QueryMessage(Message):
         at every hop free of charge.
     """
 
+    TYPE_ID = 0
+
     origin: NodeId
     issued_at: float = 0.0
     path: list[NodeId] = field(default_factory=list)
@@ -241,6 +252,8 @@ class ReplyMessage(Message):
     ``path`` is the query's recorded path (origin first); ``position``
     indexes the node the reply currently sits at.
     """
+
+    TYPE_ID = 1
 
     version: "object"  # repro.index.entry.IndexVersion (avoid import cycle)
     path: list[NodeId]
@@ -268,6 +281,8 @@ class ReplyMessage(Message):
 class PushMessage(Message):
     """A proactively pushed index update (CUP hop-by-hop, DUP direct)."""
 
+    TYPE_ID = 3
+
     version: "object"
     sender: NodeId
 
@@ -287,6 +302,8 @@ class ControlMessage(Message):
     cost discount.
     """
 
+    TYPE_ID = 2
+
     payloads: list[ControlPayload]
     sender: NodeId
 
@@ -305,6 +322,8 @@ class AckMessage(Message):
     by the engine before scheme dispatch.
     """
 
+    TYPE_ID = 4
+
     acked: int
     sender: NodeId
 
@@ -316,6 +335,8 @@ class AckMessage(Message):
 @dataclass(slots=True)
 class KeepAliveMessage(Message):
     """Host liveness beacon sent to the authority node."""
+
+    TYPE_ID = 5
 
     sender: NodeId
 
@@ -332,6 +353,8 @@ class AuthorityHeartbeat(Message):
     is what a standby interprets as an authority crash.
     """
 
+    TYPE_ID = 6
+
     sender: NodeId
 
     def __post_init__(self) -> None:
@@ -347,6 +370,8 @@ class AuthorityReplicate(Message):
     (typed as ``object`` to avoid an import cycle); doubles as a
     heartbeat for liveness purposes.
     """
+
+    TYPE_ID = 7
 
     state: "object"
     sender: NodeId

@@ -209,8 +209,10 @@ class Transport:
             # Fast branch: no injector and no observers attached — the
             # hop is charge + latency draw + delayed delivery, nothing
             # else.  The RNG draw happens at the same point as in the
-            # instrumented path, so streams stay bit-identical.
-            self._env.call_later(
+            # instrumented path, so streams stay bit-identical.  defer()
+            # skips the Timeout machinery in batched environments and
+            # degrades to call_later everywhere else.
+            self._env.defer(
                 self._latency.sample(self._rng),
                 self._deliver,
                 destination,

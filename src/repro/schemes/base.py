@@ -56,6 +56,9 @@ class Scheme(abc.ABC):
         #: can attribute annotations and triggered messages to the query
         #: that caused them.
         self._carrier_trace: "int | None" = None
+        #: Typed handler table (TYPE_ID -> bound handler), resolved by
+        #: :meth:`PathCachingScheme.bind`; empty until bound.
+        self._handlers: tuple = ()
 
     def bind(self, sim: "Simulation") -> None:
         """Attach the scheme to a simulation (called once by the engine)."""
@@ -177,6 +180,24 @@ class PathCachingScheme(Scheme):
     #: when the query is served mid-path or was a local hit; soft-state
     #: protocols (CUP) let them die with the packet.
     control_survives_serving = True
+
+    def bind(self, sim: "Simulation") -> None:
+        """Attach to a simulation and resolve the typed handler table.
+
+        The table is indexed by :attr:`~repro.net.message.Message.TYPE_ID`
+        and holds the handler *bound methods*, resolved once here so the
+        per-message dispatch is a list index + call — no isinstance
+        chain, no dict lookup — while subclass overrides (e.g. DUP's
+        ``_handle_push``) are still honoured through normal method
+        resolution.
+        """
+        super().bind(sim)
+        self._handlers = (
+            self._handle_query,  # QueryMessage.TYPE_ID == 0
+            self._handle_reply,  # ReplyMessage.TYPE_ID == 1
+            self._handle_control,  # ControlMessage.TYPE_ID == 2
+            self._handle_push,  # PushMessage.TYPE_ID == 3
+        )
 
     # ------------------------------------------------------------------ hooks
     def _on_query_arrival(
@@ -386,16 +407,14 @@ class PathCachingScheme(Scheme):
 
     # -------------------------------------------------------------- dispatch
     def on_message(self, node: NodeId, message: Message) -> None:
-        if isinstance(message, QueryMessage):
-            self._handle_query(node, message)
-        elif isinstance(message, ReplyMessage):
-            self._handle_reply(node, message)
-        elif isinstance(message, ControlMessage):
-            self._handle_control(node, message)
-        elif isinstance(message, PushMessage):
-            self._handle_push(node, message)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unhandled message {message!r}")
+        # Typed dispatch: TYPE_ID indexes the bound-handler table built
+        # at bind() (query/reply/control/push).  Engine-consumed classes
+        # carry ids past the table and fall through to the TypeError.
+        try:
+            handler = self._handlers[message.TYPE_ID]
+        except IndexError:
+            raise TypeError(f"unhandled message {message!r}") from None
+        handler(node, message)
 
     def _handle_push(self, node: NodeId, message: PushMessage) -> None:
         """Push handling; passive schemes receive none."""

@@ -29,7 +29,20 @@ clock values, and RNG draw order are unchanged):
   kernel-owned (a :class:`Process` resume or an :class:`_Invoke`) are
   recycled, so any event a caller might still hold a reference to —
   condition members, interrupted targets, timeouts carrying values —
-  is never reused.
+  is never reused;
+- when batched dispatch is additionally enabled (``REPRO_BATCH``, the
+  default), the run loop drains all events sharing one timestamp as a
+  single batch: the stop-time/stop-event head checks and the clock
+  assignment are hoisted to the tick boundary, and the inner loop walks
+  the batch with one float comparison per event instead of the full
+  ``(time, priority, sequence)`` tuple discipline.  Batched
+  environments also accept :meth:`Environment.defer` — fire-and-forget
+  work flattened straight into the heap entry (one tuple, no event
+  object), skipping the :class:`Timeout`/callback machinery entirely
+  (the transport's delivery hot path uses this).  Batch order is provably
+  identical to the serial pops: entries still live in the one heap, so
+  same-tick events run in exactly the (priority, sequence) order the
+  plain loop would pop them in.
 """
 
 from __future__ import annotations
@@ -169,6 +182,14 @@ class _Invoke:
 
     def __call__(self, _event: Event) -> None:
         self.fn(*self.args)
+
+
+# Deferred entries (see Environment.defer) are flattened straight into
+# the heap tuple: ``(time, priority, sequence, fn, args)`` — one
+# allocation per record, distinguished from ``(time, priority,
+# sequence, event)`` entries by tuple length alone.  Mixing lengths in
+# one heap is safe because the ``sequence`` field is unique, so tuple
+# comparison never reaches index 3.
 
 
 class Initialize(Event):
@@ -398,17 +419,23 @@ class Environment:
     initial_time:
         Starting value of the clock (defaults to ``0.0``).
 
-    The :mod:`repro.fastpath` flag is captured at construction: an
+    The :mod:`repro.fastpath` flags are captured at construction: an
     environment created while the fast paths are enabled uses the inlined
-    run loop and the :class:`Timeout` free list for its whole lifetime.
+    run loop and the :class:`Timeout` free list for its whole lifetime,
+    and one created while batched dispatch is also enabled uses the
+    same-tick batch loop and accepts zero-allocation :meth:`defer`
+    records.
     """
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        # 4-tuples carry Events; 5-tuples (batched mode only) carry
+        # flat (fn, args) deferred records.
+        self._queue: list[tuple] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._fast = fastpath.ENABLED
+        self._batched = self._fast and fastpath.BATCHED
         self._timeout_pool: list[Timeout] = []
 
     # -- properties -------------------------------------------------------
@@ -468,6 +495,27 @@ class Environment:
         timeout.callbacks.append(_Invoke(function, args))
         return timeout
 
+    def defer(self, delay: float, function: Callable, *args) -> None:
+        """Fire-and-forget :meth:`call_later` with no event handle.
+
+        In a batched environment the call is flattened straight into
+        the heap entry — no :class:`Timeout`, no callbacks list, no
+        record object — occupying the same ``(time, NORMAL, sequence)``
+        slot the timeout would have, so dispatch order is unchanged.  Outside
+        batched mode it falls back to :meth:`call_later` (discarding
+        the handle), keeping the two paths bit-identical.
+        """
+        if self._batched:
+            if delay < 0:
+                raise SchedulingError(f"negative timeout delay {delay!r}")
+            heappush(
+                self._queue,
+                (self._now + delay, NORMAL, self._eid, function, args),
+            )
+            self._eid += 1
+            return
+        self.call_later(delay, function, *args)
+
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event triggering when any of ``events`` does."""
         return AnyOf(self, events)
@@ -492,7 +540,15 @@ class Environment:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        self._now, _, _, event = heappop(self._queue)
+        entry = heappop(self._queue)
+        self._now = entry[0]
+        if len(entry) == 5:
+            # Deferred record — possible only in a batched environment
+            # whose events are being stepped manually; semantics match
+            # the batch loop.
+            entry[3](*entry[4])
+            return
+        event = entry[3]
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -526,7 +582,61 @@ class Environment:
                 )
 
         queue = self._queue
-        if self._fast:
+        if self._batched:
+            # Batched dispatch: all events sharing the head timestamp are
+            # drained as one batch.  The stop-time check and the clock
+            # assignment run once per tick; the inner loop needs only a
+            # float equality per event (entries still come off the one
+            # heap, so same-tick order is exactly the plain loop's
+            # (priority, sequence) order).  Flat deferred records —
+            # fire-and-forget deliveries — bypass the event machinery.
+            pool = self._timeout_pool
+            while queue:
+                if stop_event is not None and stop_event.callbacks is None:
+                    return stop_event.value
+                tick = queue[0][0]
+                if tick > stop_time:
+                    self._now = stop_time
+                    return None
+                self._now = tick
+                while queue and queue[0][0] == tick:
+                    entry = heappop(queue)
+                    if len(entry) == 5:
+                        entry[3](*entry[4])
+                        continue
+                    event = entry[3]
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok:
+                        if (
+                            type(event) is Timeout
+                            and event._value is None
+                            and len(callbacks) == 1
+                            and len(pool) < _POOL_CAP
+                        ):
+                            callback = callbacks[0]
+                            if (
+                                type(callback) is _Invoke
+                                or getattr(callback, "__func__", None)
+                                is _PROCESS_RESUME
+                            ):
+                                event._value = _PENDING
+                                pool.append(event)
+                    elif not event._defused:
+                        value = event._value
+                        if isinstance(value, BaseException):
+                            raise value
+                        raise SimulationError(
+                            f"unhandled event failure: {value!r}"
+                        )
+                    if (
+                        stop_event is not None
+                        and stop_event.callbacks is None
+                    ):
+                        return stop_event.value
+        elif self._fast:
             # Inlined step() loop: localised heap ops, direct slot reads,
             # and Timeout recycling.  Event order, clock values, and every
             # raise are identical to the plain loop below.

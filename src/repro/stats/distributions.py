@@ -275,3 +275,101 @@ class ZipfSelector:
 
     def __repr__(self) -> str:
         return f"ZipfSelector(n={self._n}, theta={self._theta})"
+
+    # -- shared-table access -------------------------------------------------
+    def cumulative(self, rank: int) -> float:
+        """CDF value at 0-based ``rank``: P(X <= rank)."""
+        if not 0 <= rank < self._n:
+            raise WorkloadError(f"rank {rank} out of range [0, {self._n})")
+        return float(self._cdf[rank])
+
+    def slice(self, lo: int, hi: int) -> "ZipfSlice":
+        """The conditional distribution over ranks ``[lo, hi)``.
+
+        Shares this selector's CDF table — no per-slice O(n) setup.
+        """
+        return ZipfSlice(self, lo, hi)
+
+
+_SHARED_ZIPF: dict[tuple[int, float], ZipfSelector] = {}
+
+
+def shared_zipf(n: int, theta: float) -> ZipfSelector:
+    """A process-wide shared :class:`ZipfSelector` for ``(n, theta)``.
+
+    Every multi-key engine draws keys from the same ranked Zipf law, but
+    constructing a selector is O(n) (the cumsum over ranks).  With 4096
+    keys sharded over worker processes the eager per-shard construction
+    is pure duplicated setup; this memo builds the table once per
+    process and hands out the same immutable selector.  Selectors are
+    stateless between draws (the caller owns the RNG), so sharing is
+    safe.
+    """
+    key = (int(n), float(theta))
+    selector = _SHARED_ZIPF.get(key)
+    if selector is None:
+        selector = ZipfSelector(n, theta)
+        _SHARED_ZIPF[key] = selector
+    return selector
+
+
+class ZipfSlice:
+    """A Zipf law conditioned on a contiguous rank range ``[lo, hi)``.
+
+    Used by the sharded scale engine: the key population follows one
+    global Zipf law, each shard owns a rank range, and per-shard draws
+    must be the *conditional* distribution so that the union over
+    shards reproduces the global law exactly.  Sampling maps a uniform
+    draw into the slice's CDF span — ``u' = cdf[lo-1] + u * mass`` —
+    and binary-searches the shared table, so a slice is O(1) to build
+    and O(log n) per draw, with no per-slice table copy.
+    """
+
+    __slots__ = ("_parent", "_lo", "_hi", "_base", "_mass")
+
+    def __init__(self, parent: ZipfSelector, lo: int, hi: int):
+        if not 0 <= lo < hi <= parent.n:
+            raise WorkloadError(
+                f"need 0 <= lo < hi <= {parent.n}, got [{lo}, {hi})"
+            )
+        self._parent = parent
+        self._lo = int(lo)
+        self._hi = int(hi)
+        self._base = parent.cumulative(lo - 1) if lo > 0 else 0.0
+        self._mass = parent.cumulative(hi - 1) - self._base
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw a *global* rank index in ``[lo, hi)``."""
+        u = self._base + rng.random() * self._mass
+        rank = int(self._parent._cdf.searchsorted(u, side="right"))
+        # Clamp float round-off at the span edges.
+        if rank < self._lo:
+            return self._lo
+        if rank >= self._hi:
+            return self._hi - 1
+        return rank
+
+    @property
+    def mass(self) -> float:
+        """Total probability of the slice under the parent law.
+
+        The sharded engine thins the global arrival rate by this factor
+        so each shard sees exactly its share of the query stream.
+        """
+        return self._mass
+
+    @property
+    def lo(self) -> int:
+        """First rank (inclusive) of the slice."""
+        return self._lo
+
+    @property
+    def hi(self) -> int:
+        """Last rank (exclusive) of the slice."""
+        return self._hi
+
+    def __repr__(self) -> str:
+        return (
+            f"ZipfSlice([{self._lo}, {self._hi}) of {self._parent!r}, "
+            f"mass={self._mass:.4f})"
+        )

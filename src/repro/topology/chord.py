@@ -70,12 +70,34 @@ class ChordRing:
                 f"[{ids[0]}, {ids[-1]}]"
             )
         self._ids = ids
+        self._ids_np = np.asarray(ids, dtype=np.int64)
+        # Finger matrix: row i is node ids[i]'s finger table, built in one
+        # vectorized searchsorted over all n*bits targets instead of
+        # n*bits bisect calls (the construction bottleneck at 10^5
+        # nodes).  searchsorted-left is exactly bisect_left, and the
+        # ``% n`` wraps an off-the-end index to ids[0] — successor().
+        if bits <= 62:
+            shifts = np.left_shift(
+                np.int64(1), np.arange(bits, dtype=np.int64)
+            )
+            targets = (self._ids_np[:, None] + shifts[None, :]) % self._modulus
+            rows = np.searchsorted(self._ids_np, targets, side="left")
+            self._finger_np = self._ids_np[rows % len(ids)]
+        else:  # pragma: no cover - identifier spaces beyond int64
+            self._finger_np = np.array(
+                [
+                    [
+                        self.successor((node + (1 << k)) % self._modulus)
+                        for k in range(bits)
+                    ]
+                    for node in ids
+                ],
+                dtype=object,
+            )
+        # Per-node Python rows materialize lazily on first routing use:
+        # most rings route through a small working set of nodes, and the
+        # matrix alone answers bulk queries.
         self._fingers: dict[int, list[int]] = {}
-        for node in ids:
-            self._fingers[node] = [
-                self.successor((node + (1 << k)) % self._modulus)
-                for k in range(bits)
-            ]
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -145,13 +167,22 @@ class ChordRing:
     def finger_table(self, node: int) -> tuple[int, ...]:
         """``node``'s finger table: entry k is successor(node + 2**k)."""
         self._require(node)
-        return tuple(self._fingers[node])
+        return tuple(self._finger_row(node))
+
+    def _finger_row(self, node: int) -> list[int]:
+        """``node``'s finger table as a cached plain-int list."""
+        row = self._fingers.get(node)
+        if row is None:
+            index = bisect.bisect_left(self._ids, node)
+            row = [int(f) for f in self._finger_np[index]]
+            self._fingers[node] = row
+        return row
 
     # -- routing -----------------------------------------------------------
     def closest_preceding_finger(self, node: int, key: int) -> int:
         """The finger of ``node`` closest to (but preceding) ``key``."""
         self._require(node)
-        for finger in reversed(self._fingers[node]):
+        for finger in reversed(self._finger_row(node)):
             if finger != node and _in_interval(
                 finger, node, key - 1, self._modulus
             ):
@@ -167,7 +198,7 @@ class ChordRing:
         owner = self.successor(key)
         if node == owner:
             return None
-        successor = self._fingers[node][0]
+        successor = self._finger_row(node)[0]
         if _in_interval(key, node, successor, self._modulus):
             return successor
         finger = self.closest_preceding_finger(node, key)

@@ -13,6 +13,8 @@ depend on the synthetic uniform-child-count generator.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import TopologyError
 from repro.topology.chord import ChordRing
 from repro.topology.tree import SearchTree
@@ -56,3 +58,95 @@ def chord_search_tree(ring: ChordRing, key: int) -> SearchTree:
             "chord tree does not span the ring"
         )
     return tree
+
+
+class LazyChordTree:
+    """The search tree of a key, materialized one parent at a time.
+
+    :func:`chord_search_tree` walks every node's full lookup route up
+    front — O(n log n) work and an n-entry dict *per key*, which at
+    10^5 nodes x 10^3 keys is minutes of setup and hundreds of MB for
+    edges that mostly never carry a message.  This view computes the
+    identical tree lazily: ``parent(node)`` is ``ring.next_hop(node,
+    key)`` (the defining edge relation of the eager builder), memoized
+    on first use, so setup is O(1) and total work is proportional to
+    the nodes the workload actually touches.
+
+    The tree is static (the scale tier runs without churn), so the memo
+    never invalidates.  Only the read interface the query/dissemination
+    path needs is provided — mutators live on :class:`SearchTree`.
+    """
+
+    __slots__ = ("_ring", "_key", "_root", "_parent", "_depth")
+
+    def __init__(self, ring: ChordRing, key: int):
+        self._ring = ring
+        self._key = key
+        self._root = ring.successor(key)
+        self._parent: dict[int, Optional[int]] = {self._root: None}
+        self._depth: dict[int, int] = {self._root: 0}
+
+    @property
+    def root(self) -> int:
+        """The authority node: owner of the key on the ring."""
+        return self._root
+
+    @property
+    def key(self) -> int:
+        """The key whose search tree this is."""
+        return self._key
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._ring
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def parent(self, node: int) -> Optional[int]:
+        """Next hop toward the authority (``None`` at the root)."""
+        memo = self._parent
+        try:
+            return memo[node]
+        except KeyError:
+            pass
+        hop = self._ring.next_hop(node, self._key)
+        memo[node] = hop
+        return hop
+
+    def depth(self, node: int) -> int:
+        """Hops from ``node`` to the root along next-hop pointers."""
+        memo = self._depth
+        trail = []
+        current = node
+        while current not in memo:
+            trail.append(current)
+            current = self.parent(current)
+        depth = memo[current]
+        for hop in reversed(trail):
+            depth += 1
+            memo[hop] = depth
+        return memo[node]
+
+    def path_to_root(self, node: int) -> list[int]:
+        """Nodes from ``node`` (inclusive) up to the root (inclusive)."""
+        path = [node]
+        parent = self.parent(node)
+        while parent is not None:
+            path.append(parent)
+            parent = self.parent(parent)
+        return path
+
+    @property
+    def touched(self) -> int:
+        """Nodes whose parent pointer has been materialized so far."""
+        return len(self._parent)
+
+    def materialize(self) -> SearchTree:
+        """The full eager tree (tests compare it edge-for-edge)."""
+        return chord_search_tree(self._ring, self._key)
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyChordTree(key={self._key}, root={self._root}, "
+            f"touched={len(self._parent)}/{len(self._ring)})"
+        )

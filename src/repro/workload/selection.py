@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.stats.distributions import ZipfSelector
+from repro.stats.distributions import shared_zipf
 
 NodeId = int
 
@@ -45,7 +45,11 @@ class ZipfNodeSelector:
         order = list(nodes)
         rng.shuffle(order)
         self._ranked: list[NodeId] = order
-        self._zipf = ZipfSelector(len(order), theta)
+        # The rank law is a pure function of (n, theta): share one CDF
+        # table across selectors instead of recomputing the O(n) cumsum
+        # per instance (the sharded multi-key engine builds one selector
+        # per shard over the same 10^5-node population).
+        self._zipf = shared_zipf(len(order), theta)
 
     def sample(self, rng: np.random.Generator) -> NodeId:
         """Draw one query origin."""

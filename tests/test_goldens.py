@@ -114,3 +114,13 @@ class TestGoldens:
             scale="smoke", replications=1, seed=1
         )
         check_golden(result, "fluctuation_smoke", update_goldens)
+
+    def test_scale_smoke_matches_golden(self, update_goldens):
+        # The scale rows carry no wall-clock or RSS numbers (those live
+        # in BENCH_scale.json), so this golden is machine-independent
+        # and pins the sharded engine bit-for-bit — including its
+        # worker-count invariance, via CI's REPRO_WORKERS matrix.
+        result = get_experiment("scale")(
+            scale="smoke", replications=1, seed=1
+        )
+        check_golden(result, "scale_smoke", update_goldens)

@@ -108,3 +108,86 @@ class TestCrossKeyIsolation:
         assert first.extras["queries_per_key"] == second.extras[
             "queries_per_key"
         ]
+
+
+class TestScaleEngine:
+    """The sharded scale path: determinism, conservation, worker parity."""
+
+    def _scale_config(self, **overrides):
+        defaults = dict(
+            scheme="dup",
+            topology="chord",
+            num_nodes=192,
+            query_rate=6.0,
+            duration=3600.0 * 2,
+            warmup=1800.0,
+            seed=8,
+            keep_latency_samples=False,
+        )
+        defaults.update(overrides)
+        return SimulationConfig(**defaults)
+
+    def _fingerprint(self, merged):
+        return repr(
+            (
+                merged.queries,
+                merged.mean_latency,
+                merged.hit_rate,
+                merged.cost_per_query,
+                merged.extras["latency_p95"],
+                merged.extras["parents_touched"],
+                merged.extras["swept_entries"],
+                sorted(merged.extras["queries_per_key"].items()),
+            )
+        )
+
+    def test_workers_1_and_4_bit_identical(self):
+        from repro.engine.multikey import run_scale
+
+        merged = {
+            workers: run_scale(
+                self._scale_config(),
+                num_keys=24,
+                key_zipf_theta=0.8,
+                workers=workers,
+            )
+            for workers in (1, 4)
+        }
+        assert self._fingerprint(merged[1]) == self._fingerprint(merged[4])
+
+    def test_shard_count_is_pure_function_of_keys(self):
+        from repro.engine.multikey import default_shard_count
+
+        assert default_shard_count(1) == 1
+        assert default_shard_count(4) == 4
+        assert default_shard_count(1024) == 8
+        # Worker-count invariance hinges on this: the shard plan must
+        # never depend on how many processes execute it.
+
+    def test_scale_run_conserves_queries_across_shards(self):
+        from repro.engine.multikey import run_scale
+
+        merged = run_scale(
+            self._scale_config(), num_keys=16, key_zipf_theta=0.8, workers=1
+        )
+        per_key = merged.extras["queries_per_key"]
+        assert sum(per_key.values()) == merged.queries
+        assert merged.queries > 0
+        assert len(per_key) == 16
+
+    def test_scale_rejects_churn_and_non_chord(self):
+        from repro.engine.multikey import MultiKeyScaleSimulation
+
+        with pytest.raises(ConfigError):
+            MultiKeyScaleSimulation(
+                self._scale_config(topology="random-tree"), num_keys=8
+            )
+        with pytest.raises(ConfigError):
+            MultiKeyScaleSimulation(
+                self._scale_config(churn=ChurnConfig(join_rate=0.1)),
+                num_keys=8,
+            )
+        with pytest.raises(ConfigError):
+            MultiKeyScaleSimulation(
+                self._scale_config(), num_keys=4, shard_count=8
+            )

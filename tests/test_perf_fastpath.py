@@ -67,6 +67,96 @@ class TestFastPathDeterminism:
         assert slow.rows and repr(slow.rows) == repr(fast.rows)
 
 
+class TestBatchedKernel:
+    def test_batched_flag_toggles_and_is_captured_at_construction(self):
+        previous_fast = fastpath.set_enabled(True)
+        previous_batched = fastpath.set_batched(False)
+        try:
+            unbatched_env = Environment()
+            fastpath.set_batched(True)
+            batched_env = Environment()
+            assert unbatched_env._batched is False
+            assert batched_env._batched is True
+        finally:
+            fastpath.set_batched(previous_batched)
+            fastpath.set_enabled(previous_fast)
+
+    def test_batched_requires_fast(self):
+        previous_fast = fastpath.set_enabled(False)
+        previous_batched = fastpath.set_batched(True)
+        try:
+            env = Environment()
+            assert env._batched is False
+        finally:
+            fastpath.set_batched(previous_batched)
+            fastpath.set_enabled(previous_fast)
+
+    def test_defer_order_matches_call_later(self):
+        """Deferred records fire in the exact slots timeouts would."""
+
+        def run(batched):
+            fastpath.set_enabled(True)
+            fastpath.set_batched(batched)
+            env = Environment()
+            fired = []
+            for index, delay in enumerate([3.0, 1.0, 1.0, 2.0, 0.0]):
+                env.defer(delay, fired.append, (delay, index))
+            env.run()
+            return fired
+
+        previous_fast = fastpath.set_enabled(True)
+        previous_batched = fastpath.set_batched(True)
+        try:
+            assert run(True) == run(False)
+        finally:
+            fastpath.set_batched(previous_batched)
+            fastpath.set_enabled(previous_fast)
+
+    def test_defer_rejects_negative_delay(self):
+        previous_fast = fastpath.set_enabled(True)
+        previous_batched = fastpath.set_batched(True)
+        try:
+            env = Environment()
+            with pytest.raises(Exception):
+                env.defer(-1.0, lambda: None)
+        finally:
+            fastpath.set_batched(previous_batched)
+            fastpath.set_enabled(previous_fast)
+
+    def test_step_handles_deferred_records(self):
+        previous_fast = fastpath.set_enabled(True)
+        previous_batched = fastpath.set_batched(True)
+        try:
+            env = Environment()
+            fired = []
+            env.defer(2.0, fired.append, "a")
+            env.step()
+            assert fired == ["a"]
+            assert env.now == 2.0
+        finally:
+            fastpath.set_batched(previous_batched)
+            fastpath.set_enabled(previous_fast)
+
+    def test_figure4_identical_with_and_without_batching(self):
+        """Same-tick batch draining changes wall-clock only."""
+
+        def run():
+            return figure4_arrival_rate.run(
+                scale="quick", replications=1, rates=(1.0,), workers=1
+            )
+
+        previous_fast = fastpath.set_enabled(True)
+        previous_batched = fastpath.set_batched(False)
+        try:
+            unbatched = run()
+            fastpath.set_batched(True)
+            batched = run()
+        finally:
+            fastpath.set_batched(previous_batched)
+            fastpath.set_enabled(previous_fast)
+        assert unbatched.rows and repr(unbatched.rows) == repr(batched.rows)
+
+
 class TestTimeoutPooling:
     def _drain(self, env, events=64):
         def ticker():

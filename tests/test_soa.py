@@ -1,0 +1,305 @@
+"""Tests for the structure-of-arrays scale core (``repro.core.soa``).
+
+The load-bearing test is the randomized oracle: :class:`SoaTree` must
+agree with the dict-backed :class:`SearchTree` on every observable after
+any interleaving of the mutators the schemes use (subscribe joins,
+unsubscribe leaves, churn splices, authority failover re-roots).  The
+rest covers the expiry wheel's lazy-invalidation contract, the flat
+subscriber table against a naive dict-of-sets, the vectorized
+lease/cache sweeps against their per-item counterparts, the lazy Chord
+tree against the eager construction, and the conditional Zipf slices
+against the global law.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.leases import LeaseTable
+from repro.core.soa import ExpiryWheel, FlatSubscriberTable, SoaTree
+from repro.errors import NodeNotFoundError, TopologyError, WorkloadError
+from repro.index.cache import IndexCache
+from repro.index.entry import IndexVersion
+from repro.stats.distributions import ZipfSlice, shared_zipf
+from repro.topology.chord import ChordRing
+from repro.topology.chord_tree import LazyChordTree, chord_search_tree
+from repro.topology.tree import SearchTree
+
+
+class TestSoaTreeOracle:
+    """Random interleavings compared mutator-for-mutator to SearchTree."""
+
+    OPS = ("add", "remove", "splice", "insert", "promote", "replace", "rename")
+
+    def _compare(self, soa, ref, nodes):
+        assert len(soa) == len(ref)
+        assert soa.root == ref.root
+        for node in nodes:
+            assert node in soa and node in ref
+            assert soa.parent(node) == ref.parent(node)
+            assert soa.depth(node) == ref.depth(node)
+            assert soa.is_leaf(node) == ref.is_leaf(node)
+            assert soa.path_to_root(node) == ref.path_to_root(node)
+            assert sorted(soa.children(node)) == sorted(ref.children(node))
+        assert soa.height() == ref.height()
+        assert soa.mean_depth() == pytest.approx(ref.mean_depth())
+        soa.validate()
+        ref.validate()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_interleavings_match_searchtree(self, seed):
+        rng = np.random.default_rng(seed)
+        soa, ref = SoaTree(0), SearchTree(0)
+        nodes = [0]
+        fresh = 1
+        for step in range(1200):
+            op = self.OPS[int(rng.integers(len(self.OPS)))]
+            if op == "add" or len(nodes) < 4:
+                parent = nodes[int(rng.integers(len(nodes)))]
+                soa.add_leaf(parent, fresh)
+                ref.add_leaf(parent, fresh)
+                nodes.append(fresh)
+                fresh += 1
+            elif op == "remove":
+                leaves = [n for n in nodes if ref.is_leaf(n) and n != ref.root]
+                if not leaves:
+                    continue
+                victim = leaves[int(rng.integers(len(leaves)))]
+                soa.remove_leaf(victim)
+                ref.remove_leaf(victim)
+                nodes.remove(victim)
+            elif op == "splice":
+                inner = [
+                    n
+                    for n in nodes
+                    if n != ref.root and not ref.is_leaf(n)
+                ]
+                if not inner:
+                    continue
+                victim = inner[int(rng.integers(len(inner)))]
+                assert soa.splice_out(victim) == ref.splice_out(victim)
+                nodes.remove(victim)
+            elif op == "insert":
+                children = [n for n in nodes if n != ref.root]
+                if not children:
+                    continue
+                child = children[int(rng.integers(len(children)))]
+                parent = ref.parent(child)
+                soa.insert_on_edge(parent, child, fresh)
+                ref.insert_on_edge(parent, child, fresh)
+                nodes.append(fresh)
+                fresh += 1
+            elif op == "promote":
+                candidates = [n for n in nodes if n != ref.root]
+                if not candidates:
+                    continue
+                node = candidates[int(rng.integers(len(candidates)))]
+                old_root = ref.root
+                assert soa.promote_to_root(node) == ref.promote_to_root(node)
+                # promote_to_root splices the old root OUT of the tree.
+                nodes.remove(old_root)
+            elif op == "replace":
+                old_root = ref.root
+                soa.replace_root(fresh)
+                ref.replace_root(fresh)
+                nodes.remove(old_root)
+                nodes.append(fresh)
+                fresh += 1
+            elif op == "rename":
+                node = nodes[int(rng.integers(len(nodes)))]
+                soa.rename(node, fresh)
+                ref.rename(node, fresh)
+                nodes[nodes.index(node)] = fresh
+                fresh += 1
+            if step % 100 == 0:
+                self._compare(soa, ref, nodes)
+        self._compare(soa, ref, nodes)
+
+    def test_growth_past_initial_capacity(self):
+        tree = SoaTree(0, capacity=4)
+        for node in range(1, 200):
+            tree.add_leaf(node - 1, node)
+        assert len(tree) == 200
+        assert tree.depth(199) == 199
+        tree.validate()
+
+    def test_error_types_match_searchtree(self):
+        tree = SoaTree(0)
+        tree.add_leaf(0, 1)
+        with pytest.raises(NodeNotFoundError):
+            tree.parent(99)
+        with pytest.raises(TopologyError):
+            tree.add_leaf(0, 1)  # duplicate
+        with pytest.raises(TopologyError):
+            tree.remove_leaf(0)  # the root
+        with pytest.raises(TopologyError):
+            tree.splice_out(0)  # the root needs replace_root
+
+
+class TestExpiryWheel:
+    def test_pop_due_returns_and_compacts(self):
+        wheel = ExpiryWheel()
+        wheel.push(10.0, 1, 100)
+        wheel.push(5.0, 2, 200)
+        wheel.push(20.0, 3, 300)
+        assert wheel.next_deadline() == 5.0
+        due = wheel.pop_due(10.0)
+        assert sorted(due) == [(1, 100), (2, 200)]
+        assert len(wheel) == 1
+        assert wheel.next_deadline() == 20.0
+
+    def test_records_are_hints_renewals_just_push(self):
+        # Lazy invalidation: a renewed entry keeps its old record; the
+        # consumer revalidates on pop, so duplicates are fine.
+        wheel = ExpiryWheel()
+        wheel.push(5.0, 7, 0)
+        wheel.push(9.0, 7, 0)  # renewal pushes a second hint
+        assert len(wheel) == 2
+        assert [pair for pair in wheel.pop_due(6.0)] == [(7, 0)]
+        assert [pair for pair in wheel.pop_due(10.0)] == [(7, 0)]
+        assert len(wheel) == 0
+
+    def test_empty_wheel(self):
+        wheel = ExpiryWheel()
+        assert wheel.pop_due(1e9) == []
+        assert wheel.next_deadline() == float("inf")
+
+    def test_growth(self):
+        wheel = ExpiryWheel(capacity=2)
+        for i in range(100):
+            wheel.push(float(i), i, i)
+        assert len(wheel) == 100
+        assert wheel.pop_due(49.0) == [(i, i) for i in range(50)]
+
+
+class TestFlatSubscriberTable:
+    def test_matches_naive_dict_of_sets(self):
+        rng = np.random.default_rng(4)
+        table = FlatSubscriberTable(capacity=4)
+        naive: dict[int, set[int]] = {}
+        for _ in range(3000):
+            holder = int(rng.integers(20))
+            entry = int(rng.integers(50))
+            if rng.random() < 0.6:
+                added = entry not in naive.setdefault(holder, set())
+                assert table.add(holder, entry) == added
+                naive[holder].add(entry)
+            else:
+                removed = entry in naive.get(holder, set())
+                assert table.discard(holder, entry) == removed
+                naive.get(holder, set()).discard(entry)
+        assert len(table) == sum(len(s) for s in naive.values())
+        for holder, entries in naive.items():
+            assert set(table.entries_for(holder).tolist()) == entries
+            assert table.count_for(holder) == len(entries)
+        counts = [len(s) for s in naive.values() if s]
+        assert table.max_fanout() == (max(counts) if counts else 0)
+        holders, fanouts = table.fanout()
+        assert dict(zip(holders.tolist(), fanouts.tolist())) == {
+            h: len(s) for h, s in naive.items() if s
+        }
+
+
+class TestVectorizedSweeps:
+    def test_lease_sweep_equals_per_holder_expired(self):
+        clock = [0.0]
+        table = LeaseTable(ttl=10.0, clock=lambda: clock[0])
+        rng = np.random.default_rng(5)
+        for holder in range(8):
+            for entry in range(int(rng.integers(1, 6))):
+                clock[0] = float(rng.uniform(0.0, 20.0))
+                table.touch(holder, entry)
+        now = 18.0
+        swept = set(table.sweep(now))
+        per_holder = {
+            (holder, entry)
+            for holder in range(8)
+            for entry in table.expired(holder, now)
+        }
+        assert swept == per_holder
+
+    def _version(self, key, ttl=10.0, issued=0.0):
+        return IndexVersion(key=key, version=1, issued_at=issued, ttl=ttl)
+
+    @pytest.mark.parametrize("population", [6, 64])
+    def test_cache_sweep_evicts_exactly_the_expired(self, population):
+        # Both the small-cache scan and the vectorized path (>32).
+        cache = IndexCache()
+        for key in range(population):
+            ttl = 5.0 if key % 2 else 50.0
+            cache.put(self._version(key, ttl=ttl), now=0.0)
+        evicted = cache.sweep(now=10.0)
+        assert evicted == population // 2
+        for key in range(population):
+            if key % 2:
+                assert cache.peek(key) is None
+            else:
+                assert cache.get(key, now=10.0) is not None
+        assert cache.stats.evictions == population // 2
+
+    def test_cache_sweep_on_empty_cache(self):
+        assert IndexCache().sweep(now=1.0) == 0
+
+
+class TestLazyChordTree:
+    def test_matches_eager_construction(self):
+        ring = ChordRing.random(200, np.random.default_rng(9), bits=16)
+        for key in (3, 777, 54321):
+            eager = chord_search_tree(ring, key)
+            lazy = LazyChordTree(ring, key)
+            assert lazy.root == eager.root
+            for node in ring.node_ids:
+                assert lazy.parent(node) == eager.parent(node)
+                assert lazy.depth(node) == eager.depth(node)
+                assert lazy.path_to_root(node) == eager.path_to_root(node)
+
+    def test_touched_grows_lazily(self):
+        ring = ChordRing.random(200, np.random.default_rng(9), bits=16)
+        lazy = LazyChordTree(ring, 777)
+        assert lazy.touched <= 1
+        lazy.path_to_root(ring.node_ids[0])
+        touched_once = lazy.touched
+        assert 0 < touched_once < len(ring.node_ids)
+        for node in ring.node_ids:
+            lazy.parent(node)
+        # Every non-root parent pointer is now memoized.
+        assert lazy.touched >= len(ring.node_ids) - 1
+        # materialize() hands back the eager tree for full comparison.
+        assert lazy.materialize().root == lazy.root
+
+
+class TestZipfSlices:
+    def test_slices_partition_the_global_law(self):
+        parent = shared_zipf(100, 0.8)
+        slices = [ZipfSlice(parent, lo, hi) for lo, hi in
+                  [(0, 25), (25, 50), (50, 100)]]
+        assert sum(s.mass for s in slices) == pytest.approx(1.0)
+        # Conditional probabilities recompose the global law exactly.
+        for s in slices:
+            for rank in range(s.lo, s.hi):
+                conditional = parent.probability(rank) / s.mass
+                assert conditional > 0
+        assert slices[0].mass > slices[2].mass  # hot head outweighs tail
+
+    def test_samples_stay_in_range_and_follow_the_law(self):
+        parent = shared_zipf(64, 0.9)
+        slice_ = ZipfSlice(parent, 8, 24)
+        rng = np.random.default_rng(11)
+        draws = np.array([slice_.sample(rng) for _ in range(4000)])
+        assert draws.min() >= 8 and draws.max() < 24
+        # Rank 8 is the hottest in the slice; it must dominate rank 23.
+        assert (draws == 8).sum() > (draws == 23).sum() * 1.5
+
+    def test_shared_zipf_is_memoized(self):
+        assert shared_zipf(32, 0.8) is shared_zipf(32, 0.8)
+        assert shared_zipf(32, 0.8) is not shared_zipf(32, 0.9)
+
+    def test_slice_bounds_validated(self):
+        parent = shared_zipf(10, 0.5)
+        with pytest.raises(WorkloadError):
+            ZipfSlice(parent, 5, 5)
+        with pytest.raises(WorkloadError):
+            ZipfSlice(parent, -1, 5)
+        with pytest.raises(WorkloadError):
+            ZipfSlice(parent, 0, 11)
